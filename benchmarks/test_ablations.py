@@ -1,0 +1,154 @@
+"""Ablations of the design knobs DESIGN.md calls out.
+
+Not figures from the paper — these quantify the sensitivity of the
+reproduction to its own modeling choices and the cost of the hardware
+features each design adds:
+
+* conventional-fence base cost (the calibration constant);
+* Bypass Set capacity (Table 2's 32 entries);
+* the W+ deadlock timeout;
+* line size (false-sharing pressure on the line-granularity BS);
+* *idealized* WeeFence with an atomically-consistent global GRT — the
+  hardware the paper argues cannot be built (§2.3); the gap between it
+  and the real (confined) Wee is the implementability tax the
+  asymmetric designs avoid paying.
+"""
+
+from dataclasses import replace
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.eval import report
+from repro.workloads.base import load_all_workloads, run_workload
+
+from conftest import bench_scale, run_once
+
+
+def _run(name, design, scale, **overrides):
+    load_all_workloads()
+    params = MachineParams().with_cores(8)
+    if overrides:
+        params = replace(params, **overrides)
+    return run_workload(name, design, num_cores=8, scale=scale,
+                        params=params)
+
+
+def test_ablation_sf_base_cost(benchmark, report_sink):
+    """The sf pipeline-serialization constant: the S+/WS+ gap must grow
+    with it, while WS+ itself stays insensitive (its wf pays none)."""
+    scale = min(bench_scale(), 0.5)
+
+    def run():
+        rows = []
+        for base in (0, 30, 90):
+            sp = _run("fib", FenceDesign.S_PLUS, scale, sf_base_cycles=base)
+            ws = _run("fib", FenceDesign.WS_PLUS, scale, sf_base_cycles=base)
+            rows.append((base, sp.cycles, ws.cycles,
+                         f"{ws.cycles / sp.cycles:.2f}x"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("sf_base_cycles", "S+ cycles", "WS+ cycles", "WS+/S+"), rows,
+        title="Ablation — conventional-fence base cost (fib)")
+    report_sink("ablation_sf_base", text)
+    ratios = [r[2] / r[1] for r in rows]
+    assert ratios[-1] <= ratios[0] + 0.02, \
+        "WS+'s advantage should grow (ratio shrink) with the sf cost"
+
+
+def test_ablation_bs_capacity(benchmark, report_sink):
+    """Shrinking the BS forces overflow stalls on post-wf loads."""
+    scale = min(bench_scale(), 0.5)
+
+    def run():
+        rows = []
+        for entries in (2, 8, 32):
+            r = _run("ReadNWrite1", FenceDesign.W_PLUS, scale,
+                     bs_entries=entries)
+            rows.append((entries, f"{r.throughput:.0f}",
+                         r.stats.bs_overflow_stalls))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("bs_entries", "txn/Mcyc", "overflow stalls"), rows,
+        title="Ablation — Bypass Set capacity (ReadNWrite1, W+)")
+    report_sink("ablation_bs_capacity", text)
+    # the paper-sized BS (32) suffers no overflow; a 2-entry BS does
+    assert rows[2][2] <= rows[0][2]
+
+
+def test_ablation_wplus_timeout(benchmark, report_sink):
+    """The W+ deadlock timeout trades detection latency for false
+    positives; the defaults sit near the knee."""
+    scale = min(bench_scale(), 0.5)
+
+    def run():
+        rows = []
+        for timeout in (120, 250, 800):
+            r = _run("fib", FenceDesign.W_PLUS, scale,
+                     wplus_timeout_cycles=timeout)
+            rows.append((timeout, r.cycles, r.stats.wplus_recoveries))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("timeout", "cycles", "recoveries"), rows,
+        title="Ablation — W+ deadlock timeout (fib)")
+    report_sink("ablation_wplus_timeout", text)
+    # a very long timeout costs cycles whenever collisions do happen
+    assert rows[0][1] <= rows[2][1] * 1.2
+
+
+def test_ablation_line_size_false_sharing(benchmark, report_sink):
+    """Bigger lines widen the line-granularity BS conflict footprint:
+    more bounces per wf under the weak designs."""
+    scale = min(bench_scale(), 0.5)
+
+    def run():
+        rows = []
+        for line in (32, 64):
+            r = _run("ReadWriteN", FenceDesign.W_PLUS, scale,
+                     line_bytes=line, l1_hit_cycles=2)
+            rows.append((line, f"{r.throughput:.0f}", r.stats.bounces))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("line bytes", "txn/Mcyc", "bounces"), rows,
+        title="Ablation — line size / false sharing (ReadWriteN, W+)")
+    report_sink("ablation_line_size", text)
+
+
+def test_ablation_idealized_weefence(benchmark, report_sink):
+    """Wee vs an impossible Wee with a consistent global GRT view.
+
+    The idealized variant never demotes fences and never stalls
+    cross-bank loads — its advantage over real Wee is exactly the
+    implementability tax; the asymmetric designs (here WS+) recover
+    most of it with none of the global state."""
+    scale = min(bench_scale(), 0.5)
+
+    def run():
+        rows = []
+        for name in ("ReadNWrite1", "Tree", "TreeOverwrite"):
+            sp = _run(name, FenceDesign.S_PLUS, scale)
+            wee = _run(name, FenceDesign.WEE, scale)
+            ideal = _run(name, FenceDesign.WEE, scale, wee_ideal=True)
+            ws = _run(name, FenceDesign.WS_PLUS, scale)
+            base = max(sp.throughput, 1e-9)
+            rows.append((name,
+                         f"{wee.throughput / base:.2f}x",
+                         f"{ideal.throughput / base:.2f}x",
+                         f"{ws.throughput / base:.2f}x"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("ustm app", "Wee (real)", "Wee (ideal GRT)", "WS+"), rows,
+        title="Ablation — the WeeFence implementability tax")
+    report_sink("ablation_wee_ideal", text)
+    # the idealized GRT should not lose to the confined one on average
+    real = report.mean([float(r[1][:-1]) for r in rows])
+    ideal = report.mean([float(r[2][:-1]) for r in rows])
+    assert ideal >= real - 0.1

@@ -1,0 +1,66 @@
+"""Extension — C-fence vs the asymmetric designs.
+
+The §8 comparison made quantitative: C-fence skips its stall whenever
+no associate fence executes concurrently (rare collisions = big wins),
+but every dynamic fence pays the centralized-table round trip, and the
+conservative everyone-is-an-associate classification makes the
+fence-dense ustm group stall often.  Expected shape: C-fence between
+S+ and the wf designs on CilkApps, clearly behind them on ustm.
+"""
+
+from repro.common.params import FenceDesign
+from repro.eval import report
+from repro.workloads.base import load_all_workloads, run_workload
+
+from conftest import bench_cores, bench_scale, run_once
+
+CILK = ("fib", "bucket")
+USTM = ("ReadNWrite1", "TreeOverwrite")
+
+
+def test_ext_cfence(benchmark, report_sink):
+    load_all_workloads()
+    scale = min(bench_scale(), 0.5)
+    cores = bench_cores()
+
+    def run():
+        rows = []
+        for name in CILK + USTM:
+            per = {}
+            skips = stalls = 0
+            for design in (FenceDesign.S_PLUS, FenceDesign.CFENCE,
+                           FenceDesign.WS_PLUS):
+                r = run_workload(name, design, num_cores=cores,
+                                 scale=scale)
+                if name in USTM:
+                    per[design] = r.throughput
+                else:
+                    per[design] = r.cycles
+                if design is FenceDesign.CFENCE:
+                    skips = r.stats.cfence_skips
+                    stalls = r.stats.cfence_stalls
+            base = per[FenceDesign.S_PLUS] or 1
+            better_is_higher = name in USTM
+            rows.append((
+                name,
+                "throughput" if better_is_higher else "time",
+                f"{per[FenceDesign.CFENCE] / base:.2f}x",
+                f"{per[FenceDesign.WS_PLUS] / base:.2f}x",
+                f"{skips}/{skips + stalls}",
+            ))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("app", "metric", "C-fence vs S+", "WS+ vs S+",
+         "skipped fences"),
+        rows,
+        title="Extension — Conditional Fences vs Asymmetric fences",
+    )
+    report_sink("ext_cfence", text)
+    for name, metric, cf, ws, _sk in rows:
+        cf, ws = float(cf[:-1]), float(ws[:-1])
+        if metric == "time":
+            assert cf <= 1.05, (name, cf)       # never much worse than S+
+        else:
+            assert cf >= 0.9, (name, cf)

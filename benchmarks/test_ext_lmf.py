@@ -1,0 +1,61 @@
+"""Extension — l-mf vs the asymmetric designs on work stealing.
+
+The paper compares against Location-based Memory Fences qualitatively
+(§8); this bench makes the comparison quantitative on l-mf's natural
+habitat, the THE work-stealing deque: the owner's deque words stay
+exclusively cached between takes, so the l-mf's store-conditional
+usually succeeds — until a thief touches them.  Expected shape:
+S+ ≥ l-mf ≥ WS+/W+ in execution time, with l-mf's fallback count
+tracking the steal traffic.
+"""
+
+from repro.common.params import FenceDesign
+from repro.eval import report
+from repro.workloads.base import load_all_workloads, run_workload
+
+from conftest import bench_cores, bench_scale, run_once
+
+APPS = ("fib", "bucket", "knapsack")
+
+
+def test_ext_lmf_work_stealing(benchmark, report_sink):
+    load_all_workloads()
+    scale = min(bench_scale(), 0.5)
+    cores = bench_cores()
+
+    def run():
+        rows = []
+        for name in APPS:
+            per = {}
+            fallbacks = 0
+            for design in (FenceDesign.S_PLUS, FenceDesign.LMF,
+                           FenceDesign.WS_PLUS, FenceDesign.W_PLUS):
+                r = run_workload(name, design, num_cores=cores,
+                                 scale=scale, check=True)
+                per[design] = r.cycles
+                if design is FenceDesign.LMF:
+                    fallbacks = r.stats.lmf_fallbacks
+                    fast = r.stats.lmf_fast
+            base = per[FenceDesign.S_PLUS]
+            rows.append((
+                name,
+                f"{per[FenceDesign.LMF] / base:.2f}x",
+                f"{per[FenceDesign.WS_PLUS] / base:.2f}x",
+                f"{per[FenceDesign.W_PLUS] / base:.2f}x",
+                f"{fast}/{fast + fallbacks}",
+            ))
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = report.format_table(
+        ("app", "l-mf vs S+", "WS+ vs S+", "W+ vs S+",
+         "l-mf SC success"),
+        rows,
+        title="Extension — Location-based Memory Fences on CilkApps",
+    )
+    report_sink("ext_lmf", text)
+    # l-mf never loses to S+ and the wf designs never lose to l-mf by
+    # more than noise (the paper's qualitative §8 ordering)
+    for name, lmf, ws, wp, _sc in rows:
+        assert float(lmf[:-1]) <= 1.05, (name, lmf)
+        assert float(ws[:-1]) <= float(lmf[:-1]) + 0.10, (name, ws, lmf)

@@ -1,0 +1,35 @@
+"""Figure 10 — per-transaction cycle breakdown of ustm.
+
+Paper shape: S+ transactions spend ~54 % of their cycles in fence
+stall; WS+ and W+ eliminate half and two thirds of that stall, making
+the average transaction take 24 % / 35 % fewer cycles; Wee only 11 %
+fewer because the GRT confinement rule demotes many of its fences.
+"""
+
+from repro.eval.figures import fig9_fig10_ustm, render_fig10
+
+from conftest import bench_cores, bench_scale, run_once
+
+
+def test_fig10_ustm_breakdown(benchmark, report_sink):
+    data = run_once(
+        benchmark, fig9_fig10_ustm,
+        scale=bench_scale(), num_cores=bench_cores(),
+    )
+    text = render_fig10(data)
+    report_sink("fig10_ustm_breakdown", text)
+    txn = data["avg_txn_cycles_ratio"]
+    benchmark.extra_info.update(
+        {f"txn_cycles_{d}": round(v, 3) for d, v in txn.items()}
+    )
+
+    # the average transaction takes clearly fewer cycles under the
+    # asymmetric designs
+    assert txn["WS+"] <= 0.92, txn
+    assert txn["W+"] <= 0.92, txn
+    # fence stall is the dominant S+ overhead in this group (paper 54%)
+    splus = [e for e in data["txn_entries"] if e["design"] == "S+"]
+    stall_frac = sum(e["fence_stall"] for e in splus) / max(
+        1e-9, sum(e["busy"] + e["fence_stall"] + e["other_stall"]
+                  for e in splus))
+    assert stall_frac >= 0.20, stall_frac

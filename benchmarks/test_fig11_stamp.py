@@ -1,0 +1,47 @@
+"""Figure 11 — execution time of the STAMP applications.
+
+Paper shape: lots of per-app variation; on average WS+ cuts execution
+time by 7 %, W+ by 19 % and Wee by 11 %.  The called-out behaviours:
+write-heavy intruder gains more from W+ than from WS+, and labyrinth
+(few, huge transactions) barely moves under any design.
+"""
+
+from repro.eval.figures import fig11_stamp, render_time_figure
+
+from conftest import bench_cores, bench_scale, run_once
+
+
+def _norm(data, app, design):
+    for e in data["entries"]:
+        if e["app"] == app and e["design"] == design:
+            return e["normalized_time"]
+    raise KeyError((app, design))
+
+
+def test_fig11_stamp(benchmark, report_sink):
+    data = run_once(
+        benchmark, fig11_stamp,
+        scale=bench_scale(), num_cores=bench_cores(),
+    )
+    text = render_time_figure(
+        data, "Figure 11",
+        "avg reduction: WS+ 7%, W+ 19%, Wee 11%; intruder favours W+; "
+        "labyrinth flat",
+    )
+    report_sink("fig11_stamp", text)
+    avg = data["avg_normalized_time"]
+    benchmark.extra_info.update(
+        {f"avg_time_{d}": round(v, 3) for d, v in avg.items()}
+    )
+
+    assert len(data["apps"]) == 6
+    # the weak designs do not lose to S+ on average
+    assert avg["WS+"] <= 1.02, avg
+    assert avg["W+"] <= 1.0, avg
+    # W+ beats WS+ on the write-heavy intruder (paper's observation)
+    assert _norm(data, "intruder", "W+") <= \
+        _norm(data, "intruder", "WS+") + 0.05
+    # labyrinth barely moves under any design (few transactions)
+    for d in ("WS+", "W+", "Wee"):
+        assert 0.85 <= _norm(data, "labyrinth", d) <= 1.12, (
+            d, _norm(data, "labyrinth", d))

@@ -1,0 +1,47 @@
+"""Figure 12 — scalability of the fence-stall reduction.
+
+Paper shape: for each workload group and design, the ratio
+(design fence-stall / S+ fence-stall) stays flat or rises only
+modestly from 4 to 32 cores — the designs keep their effectiveness as
+the machine scales.
+
+To keep the sweep affordable this bench uses a representative subset
+of apps per group (FIG12_APPS) and a reduced default core-count list;
+set REPRO_FULL_SCALING=1 to run the paper's full 4/8/16/32 sweep.
+"""
+
+import os
+
+from repro.eval.figures import fig12_scalability, render_fig12
+
+from conftest import bench_scale, run_once
+
+
+def _core_counts():
+    if os.environ.get("REPRO_FULL_SCALING"):
+        return (4, 8, 16, 32)
+    return (4, 8, 16)
+
+
+def test_fig12_scalability(benchmark, report_sink):
+    counts = _core_counts()
+    data = run_once(
+        benchmark, fig12_scalability,
+        scale=min(bench_scale(), 0.5), core_counts=counts,
+    )
+    text = render_fig12(data)
+    report_sink("fig12_scalability", text)
+
+    by_key = {}
+    for s in data["series"]:
+        by_key.setdefault((s["group"], s["design"]), {})[s["cores"]] = \
+            s["stall_ratio"]
+    for (group, design), vals in by_key.items():
+        ratios = [vals[c] for c in counts if c in vals]
+        # the designs reduce fence stall at every core count...
+        for c, r in zip(counts, ratios):
+            assert r <= 1.0, (group, design, c, r)
+        # ...and effectiveness does not collapse as the machine grows
+        # (allow modest growth, as in the paper)
+        assert ratios[-1] <= max(0.9, 3.0 * max(ratios[0], 0.05)), (
+            group, design, ratios)

@@ -1,0 +1,31 @@
+"""Figure 9 — transactional throughput of the ustm microbenchmarks.
+
+Paper shape: normalized to S+, WS+ reaches +38 %, W+ +58 % and Wee only
++14 % (the GRT confinement rule demotes about half of its fences).
+Shape assertions: every weak design clearly beats S+ on average, and
+W+ ≥ WS+ (W+ weakens the writer-side fences too).
+"""
+
+from repro.eval.figures import fig9_fig10_ustm, render_fig9
+
+from conftest import bench_cores, bench_scale, run_once
+
+
+def test_fig9_ustm_throughput(benchmark, report_sink):
+    data = run_once(
+        benchmark, fig9_fig10_ustm,
+        scale=bench_scale(), num_cores=bench_cores(),
+    )
+    text = render_fig9(data)
+    report_sink("fig9_ustm_throughput", text)
+    ratios = data["avg_throughput_ratio"]
+    benchmark.extra_info.update(
+        {f"tput_{d}": round(v, 3) for d, v in ratios.items()}
+    )
+
+    assert len(data["apps"]) == 10
+    assert ratios["WS+"] >= 1.10, ratios
+    assert ratios["W+"] >= 1.15, ratios
+    assert ratios["Wee"] >= 1.05, ratios
+    # W+ is the fastest design on ustm (paper: 58% vs 38%)
+    assert ratios["W+"] >= ratios["WS+"] - 0.05, ratios

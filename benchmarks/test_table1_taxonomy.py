@@ -1,0 +1,30 @@
+"""Table 1 — the taxonomy of Asymmetric fence groups under TSO.
+
+Static in the paper, but checked live here: the rendered rows must
+agree with the actually-implemented policy classes (hardware features
+each design declares).
+"""
+
+from repro.common.params import FenceDesign
+from repro.eval.tables import table1
+from repro.fences.base import make_policy
+
+from conftest import run_once
+
+
+class _FakeCore:
+    pass
+
+
+def test_table1_taxonomy(benchmark, report_sink):
+    text = run_once(benchmark, table1)
+    report_sink("table1", text)
+    # the table's hardware-support column must reflect the code
+    ws = make_policy(FenceDesign.WS_PLUS, _FakeCore())
+    sw = make_policy(FenceDesign.SW_PLUS, _FakeCore())
+    wp = make_policy(FenceDesign.W_PLUS, _FakeCore())
+    assert not ws.fine_grain_bs and sw.fine_grain_bs
+    assert wp.needs_checkpoint and wp.needs_deadlock_monitor
+    assert not ws.needs_checkpoint and not sw.needs_checkpoint
+    assert "Order" in text and "Conditional Order" in text
+    assert "GRT" in text

@@ -1,0 +1,29 @@
+"""Table 2 — the architecture modeled.
+
+Checks the simulator's default parameters against the paper's table
+(8 cores, 4-issue OOO, 140-entry ROB, 64-entry WB, 32 KB 4-way L1,
+128 KB 8-way L2 banks, 32-entry BS, 5-cycle mesh hops, 200-cycle
+memory) and renders both side by side.
+"""
+
+from repro.common.params import MachineParams
+from repro.eval.tables import table2
+
+from conftest import run_once
+
+
+def test_table2_architecture(benchmark, report_sink):
+    text = run_once(benchmark, table2)
+    report_sink("table2", text)
+    p = MachineParams()
+    assert p.num_cores == 8
+    assert p.issue_width == 4
+    assert p.rob_entries == 140
+    assert p.write_buffer_entries == 64
+    assert p.l1_size_bytes == 32 * 1024 and p.l1_ways == 4
+    assert p.l1_hit_cycles == 2 and p.line_bytes == 32
+    assert p.l2_bank_size_bytes == 128 * 1024 and p.l2_ways == 8
+    assert p.l2_hit_cycles == 11
+    assert p.bs_entries == 32
+    assert p.mesh_hop_cycles == 5 and p.link_bytes == 32
+    assert p.memory_cycles == 200

@@ -1,0 +1,26 @@
+"""Table 3 — applications used in the evaluation.
+
+The registry must contain exactly the paper's three workload groups:
+10 CilkApps, 10 ustm microbenchmarks and 6 STAMP applications.
+"""
+
+from repro.eval.tables import table3
+from repro.workloads.base import load_all_workloads, workloads_in_group
+
+from conftest import run_once
+
+PAPER_CILK = {"bucket", "cholesky", "cilksort", "fft", "fib",
+              "heat", "knapsack", "lu", "matmul", "plu"}
+PAPER_USTM = {"Counter", "DList", "Forest", "Hash", "List", "MCAS",
+              "ReadNWrite1", "ReadWriteN", "Tree", "TreeOverwrite"}
+PAPER_STAMP = {"genome", "intruder", "kmeans", "labyrinth", "ssca2",
+               "vacation"}
+
+
+def test_table3_workloads(benchmark, report_sink):
+    text = run_once(benchmark, table3)
+    report_sink("table3", text)
+    load_all_workloads()
+    assert {c.name for c in workloads_in_group("cilk")} == PAPER_CILK
+    assert {c.name for c in workloads_in_group("ustm")} == PAPER_USTM
+    assert {c.name for c in workloads_in_group("stamp")} == PAPER_STAMP

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The deadlock story of the paper's Figure 3, step by step.
+
+1. Naive global-state-free weak fences on *both* threads of a Dekker
+   group prevent the SC violation by bouncing each other's writes —
+   and deadlock (Fig. 3a).  Shown with W+ recovery disabled: the
+   simulator's watchdog reports the mutual block.
+2. The Asymmetric fix (Fig. 3b): make one of the fences a conventional
+   sf — no global state needed, no deadlock possible.
+3. The W+ fix (§3.3.3): keep both fences weak, detect the deadlock
+   with the (bouncing ∧ being-bounced) timeout, roll back to the
+   checkpoint and re-execute.
+4. The WeeFence fix (Fig. 2): global GRT state stalls the one load
+   that would close the cycle.
+
+Run:  python examples/deadlock_recovery.py
+"""
+
+from repro import DeadlockError, FenceDesign, FenceRole
+from repro.sim.scv import find_scv
+from repro.workloads.litmus import store_buffering
+
+CC = (FenceRole.CRITICAL, FenceRole.CRITICAL)
+ASYM = (FenceRole.CRITICAL, FenceRole.STANDARD)
+
+
+def show(label, lit):
+    s = lit.result.stats
+    out = (lit.value(0, "r"), lit.value(1, "r"))
+    scv = find_scv(lit.result.events) is not None
+    print(f"  -> outcome {out}, {lit.result.cycles} cycles, "
+          f"{s.bounces} bounces, {s.wplus_recoveries} recoveries, "
+          f"SC {'VIOLATED' if scv else 'preserved'}")
+
+
+def main():
+    print(__doc__)
+
+    print("[1] naive wf-only group (no recovery): expect a deadlock")
+    try:
+        store_buffering(FenceDesign.W_PLUS, roles=CC, recovery=False)
+        print("  -> unexpectedly completed?!")
+    except DeadlockError as e:
+        print(f"  -> DeadlockError: {e}")
+
+    print("\n[2] Asymmetric group (wf + sf) under WS+: no global state,"
+          " no deadlock")
+    show("ws", store_buffering(FenceDesign.WS_PLUS, roles=ASYM))
+
+    print("\n[3] wf-only group under W+: deadlock detected, rolled back,"
+          " re-executed")
+    show("w+", store_buffering(FenceDesign.W_PLUS, roles=CC))
+
+    print("\n[4] wf-only group under WeeFence: the GRT breaks the cycle"
+          " up front")
+    show("wee", store_buffering(FenceDesign.WEE, roles=CC))
+
+
+if __name__ == "__main__":
+    main()

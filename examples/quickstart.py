@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: the store-buffering litmus test under every fence design.
+
+Two simulated threads run the Dekker pattern of the paper's Fig. 1d:
+
+    P0:  x = 1 ; FENCE ; r0 = y        P1:  y = 1 ; FENCE ; r1 = x
+
+Under sequential consistency (r0, r1) = (0, 0) is impossible.  TSO
+allows it *without* fences; with fences every design must prevent it —
+by stalling (S+), by bouncing conflicting writes off the Bypass Set
+(WS+/SW+), by deadlock recovery (W+) or via the Global Reorder Table
+(Wee).  The script shows the outcome, the cycle cost and the mechanism
+activity of each design.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FenceDesign, FenceRole
+from repro.sim.scv import find_scv
+from repro.workloads.litmus import store_buffering
+
+
+def main():
+    print(__doc__)
+    print(f"{'design':8s} {'outcome':>9s} {'cycles':>7s} {'bounces':>8s} "
+          f"{'orders':>7s} {'recoveries':>11s}  SC?")
+    print("-" * 60)
+
+    # without fences first: TSO exhibits the forbidden outcome
+    lit = store_buffering(FenceDesign.S_PLUS, fences=False, pad_stores=1)
+    out = (lit.value(0, "r"), lit.value(1, "r"))
+    scv = find_scv(lit.result.events) is not None
+    print(f"{'none':8s} {str(out):>9s} {lit.result.cycles:7d} "
+          f"{'-':>8s} {'-':>7s} {'-':>11s}  {'VIOLATED' if scv else 'ok'}")
+
+    for design in FenceDesign:
+        lit = store_buffering(
+            design, roles=(FenceRole.CRITICAL, FenceRole.STANDARD),
+            pad_stores=1,
+        )
+        s = lit.result.stats
+        out = (lit.value(0, "r"), lit.value(1, "r"))
+        scv = find_scv(lit.result.events) is not None
+        print(f"{str(design):8s} {str(out):>9s} {lit.result.cycles:7d} "
+              f"{s.bounces:8d} {s.order_ops:7d} {s.wplus_recoveries:11d}"
+              f"  {'VIOLATED' if scv else 'ok'}")
+
+    print("\n(0, 0) appears only in the fence-less run: every fence "
+          "design preserves SC,\nthe weak ones without paying the "
+          "conventional fence's drain stall.")
+
+
+if __name__ == "__main__":
+    main()

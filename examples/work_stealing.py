@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Work stealing with asymmetric fences (paper §4.1).
+
+Runs the `fib` Cilk-style task graph on the THE work-stealing runtime
+under all four evaluated designs and prints the execution-time
+breakdown.  The asymmetric recipe: the owner's take() fence is
+CRITICAL (a wf under WS+/SW+), the thief's steal() fence STANDARD (an
+sf) — owners run every task, thieves steal <1 % of them, so weakening
+the owner fence removes almost all of the fence stall.
+
+Run:  python examples/work_stealing.py [scale]
+"""
+
+import sys
+
+from repro import FenceDesign
+from repro.workloads.base import load_all_workloads, run_workload
+
+
+def main():
+    print(__doc__)
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    load_all_workloads()
+
+    print(f"{'design':6s} {'cycles':>9s} {'vs S+':>7s} {'busy':>7s} "
+          f"{'fence':>7s} {'other':>7s} {'tasks':>6s} {'stolen':>7s}")
+    print("-" * 62)
+    base = None
+    for design in (FenceDesign.S_PLUS, FenceDesign.WS_PLUS,
+                   FenceDesign.W_PLUS, FenceDesign.WEE):
+        run = run_workload("fib", design, num_cores=8, scale=scale,
+                           check=True)
+        s = run.stats
+        t = s.total_breakdown()
+        total = sum(t.values()) or 1
+        if base is None:
+            base = run.cycles
+        print(f"{str(design):6s} {run.cycles:9d} {run.cycles/base:6.2f}x "
+              f"{t['busy']/total:6.1%} {t['fence_stall']/total:6.1%} "
+              f"{t['other_stall']/total:6.1%} {s.tasks_executed:6d} "
+              f"{s.tasks_stolen:7d}")
+
+    print("\nEvery task executed exactly once under every design — the "
+          "THE protocol's\ncorrectness survives the weakened fences "
+          "(a duplicated task would be the SCV symptom).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — reproduction of *Asymmetric Memory Fences* (ASPLOS 2015).
+
+A cycle-level multicore timing simulator (TSO cores, write buffers,
+MESI directory coherence on a 2D mesh) implementing the paper's five
+fence environments — S+, WS+, SW+, W+ and WeeFence — together with the
+runtimes and workloads of its evaluation: Cilk-THE work stealing, the
+TLRW software transactional memory, STAMP-style applications and
+Lamport's Bakery algorithm.
+
+Quickstart::
+
+    from repro import Machine, MachineParams, FenceDesign, ops, FenceRole
+
+    params = MachineParams(num_cores=2).with_design(FenceDesign.WS_PLUS)
+    m = Machine(params)
+    x, y = m.alloc.word(), m.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(x, 1)
+        yield ops.Fence(FenceRole.CRITICAL)
+        v = yield ops.Load(y)
+
+    def reader(ctx):
+        yield ops.Store(y, 1)
+        yield ops.Fence(FenceRole.STANDARD)
+        v = yield ops.Load(x)
+
+    m.spawn(writer)
+    m.spawn(reader)
+    result = m.run()
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    SCViolationError,
+    SimulatorError,
+)
+from repro.common.params import (
+    FenceDesign,
+    FenceFlavour,
+    FenceRole,
+    MachineParams,
+    flavour_for,
+)
+from repro.core import isa as ops
+from repro.sim.machine import Machine, SimResult
+
+__all__ = [
+    "ConfigError",
+    "DeadlockError",
+    "FenceDesign",
+    "FenceFlavour",
+    "FenceRole",
+    "Machine",
+    "MachineParams",
+    "ProtocolError",
+    "SCViolationError",
+    "SimResult",
+    "SimulatorError",
+    "flavour_for",
+    "ops",
+]
+
+__version__ = "1.0.0"

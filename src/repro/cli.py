@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      run one workload under one (or all) fence designs
+``litmus``   run a litmus kernel across designs and report outcomes
+``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
+``table``    regenerate one of the paper's tables (1, 2, 3, 4)
+``list``     list registered workloads and designs
+
+Examples::
+
+    python -m repro list
+    python -m repro run fib --design WS+ --cores 8 --scale 0.5
+    python -m repro run TreeOverwrite --all-designs
+    python -m repro litmus sb --design W+
+    python -m repro figure 9 --scale 0.5
+    python -m repro table 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.eval import figures, tables
+from repro.workloads import litmus
+from repro.workloads.base import (
+    REGISTRY,
+    load_all_workloads,
+    run_workload,
+    workloads_in_group,
+)
+
+DESIGN_BY_NAME = {str(d): d for d in FenceDesign}
+DESIGN_BY_NAME.update({d.name: d for d in FenceDesign})
+
+
+def _design(value: str) -> FenceDesign:
+    try:
+        return DESIGN_BY_NAME[value]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown design {value!r}; choose from "
+            f"{', '.join(str(d) for d in FenceDesign)}"
+        )
+
+
+def cmd_list(_args) -> int:
+    load_all_workloads()
+    print("fence designs:", ", ".join(str(d) for d in FenceDesign))
+    for group in ("cilk", "ustm", "stamp"):
+        names = ", ".join(c.name for c in workloads_in_group(group))
+        print(f"{group:6s}: {names}")
+    print("litmus kernels: sb, sb3, mp, false-sharing")
+    return 0
+
+
+def _print_run(run) -> None:
+    s = run.stats
+    t = s.total_breakdown()
+    total = sum(t.values()) or 1.0
+    print(f"{run.name} under {run.design} on {run.num_cores} cores:")
+    print(f"  cycles        : {run.cycles}")
+    print(f"  instructions  : {s.total_instructions}")
+    print(f"  busy / fence / other stall : "
+          f"{t['busy'] / total:.1%} / {t['fence_stall'] / total:.1%} / "
+          f"{t['other_stall'] / total:.1%}")
+    print(f"  sf / wf executed : {s.total_sf} / {s.total_wf}")
+    if s.txn_commits or s.txn_aborts:
+        print(f"  txn commits/aborts : {s.txn_commits}/{s.txn_aborts} "
+              f"({run.throughput:.0f} per Mcycle)")
+    if s.tasks_executed:
+        print(f"  tasks executed/stolen : {s.tasks_executed}/"
+              f"{s.tasks_stolen}")
+    if s.bounces or s.order_ops or s.wplus_recoveries:
+        print(f"  bounces / orders / CO / recoveries : {s.bounces} / "
+              f"{s.order_ops} / {s.cond_order_ops} / {s.wplus_recoveries}")
+
+
+def cmd_run(args) -> int:
+    load_all_workloads()
+    if args.workload not in REGISTRY:
+        print(f"unknown workload {args.workload!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    designs = list(FenceDesign) if args.all_designs else [args.design]
+    baseline = None
+    for design in designs:
+        run = run_workload(args.workload, design, num_cores=args.cores,
+                           scale=args.scale, seed=args.seed,
+                           check=args.check)
+        _print_run(run)
+        metric = run.throughput if run.group == "ustm" else run.cycles
+        if baseline is None:
+            baseline = metric or 1
+        elif run.group == "ustm":
+            print(f"  throughput vs {designs[0]} : {metric / baseline:.2f}x")
+        else:
+            print(f"  time vs {designs[0]} : {metric / baseline:.2f}x")
+        print()
+    return 0
+
+
+LITMUS_KERNELS = {
+    "sb": lambda design, seed: litmus.store_buffering(design, seed=seed),
+    "sb3": lambda design, seed: litmus.three_thread_cycle(design, seed=seed),
+    "mp": lambda design, seed: litmus.message_passing(design, seed=seed),
+    "false-sharing": lambda design, seed: litmus.false_sharing_interference(
+        design, seed=seed),
+}
+
+
+def cmd_litmus(args) -> int:
+    from repro.sim.scv import find_scv
+
+    kernel = LITMUS_KERNELS.get(args.kernel)
+    if kernel is None:
+        print(f"unknown kernel {args.kernel!r}; choose from "
+              f"{', '.join(LITMUS_KERNELS)}", file=sys.stderr)
+        return 2
+    designs = [args.design] if args.design else list(FenceDesign)
+    for design in designs:
+        lit = kernel(design, args.seed)
+        s = lit.result.stats
+        scv = find_scv(lit.result.events)
+        observed = {f"P{tid}.{label}": v
+                    for (tid, label), v in sorted(lit.observed.items())}
+        verdict = "SC VIOLATED" if scv else "SC preserved"
+        print(f"{design}: {observed} in {lit.result.cycles} cycles — "
+              f"{verdict} (bounces={s.bounces}, orders={s.order_ops}, "
+              f"recoveries={s.wplus_recoveries})")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    n = args.number
+    if n == 8:
+        data = figures.fig8_cilkapps(scale=args.scale, num_cores=args.cores)
+        print(figures.render_time_figure(
+            data, "Figure 8", "S+ stall ~13%; ~9% average time reduction"))
+    elif n in (9, 10):
+        data = figures.fig9_fig10_ustm(scale=args.scale,
+                                       num_cores=args.cores)
+        print(figures.render_fig9(data) if n == 9
+              else figures.render_fig10(data))
+    elif n == 11:
+        data = figures.fig11_stamp(scale=args.scale, num_cores=args.cores)
+        print(figures.render_time_figure(
+            data, "Figure 11", "WS+ -7%, W+ -19%, Wee -11%"))
+    elif n == 12:
+        data = figures.fig12_scalability(scale=min(args.scale, 0.5))
+        print(figures.render_fig12(data))
+    else:
+        print("figures: 8, 9, 10, 11, 12", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_table(args) -> int:
+    n = args.number
+    if n == 1:
+        print(tables.table1())
+    elif n == 2:
+        print(tables.table2())
+    elif n == 3:
+        print(tables.table3())
+    elif n == 4:
+        data = tables.table4_characterization(scale=args.scale,
+                                              num_cores=args.cores)
+        print(tables.render_table4(data))
+    else:
+        print("tables: 1, 2, 3, 4", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asymmetric Memory Fences (ASPLOS 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and designs")
+
+    p_run = sub.add_parser("run", help="run one workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--design", type=_design,
+                       default=FenceDesign.S_PLUS)
+    p_run.add_argument("--all-designs", action="store_true")
+    p_run.add_argument("--cores", type=int, default=8)
+    p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument("--seed", type=int, default=12345)
+    p_run.add_argument("--check", action="store_true",
+                       help="run the workload's invariant checks")
+
+    p_lit = sub.add_parser("litmus", help="run a litmus kernel")
+    p_lit.add_argument("kernel", choices=sorted(LITMUS_KERNELS))
+    p_lit.add_argument("--design", type=_design, default=None)
+    p_lit.add_argument("--seed", type=int, default=1)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--scale", type=float, default=0.5)
+    p_fig.add_argument("--cores", type=int, default=8)
+
+    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab.add_argument("number", type=int)
+    p_tab.add_argument("--scale", type=float, default=0.5)
+    p_tab.add_argument("--cores", type=int, default=8)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "litmus": cmd_litmus,
+        "figure": cmd_figure,
+        "table": cmd_table,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

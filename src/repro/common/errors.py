@@ -1,0 +1,45 @@
+"""Exception types raised by the simulator."""
+
+
+class SimulatorError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(SimulatorError):
+    """A machine or workload parameter is invalid."""
+
+
+class DeadlockError(SimulatorError):
+    """The simulated machine reached global quiescence with live threads.
+
+    Raised by the deadlock detector (``repro.sim.deadlock``) when the
+    event queue drains while one or more simulated threads have not
+    finished.  This is the observable symptom of the naive
+    all-weak-fence design of Figure 3a in the paper.
+    """
+
+    def __init__(self, message, blocked_cores=()):
+        super().__init__(message)
+        self.blocked_cores = tuple(blocked_cores)
+
+
+class ProtocolError(SimulatorError):
+    """The coherence protocol reached an inconsistent state (a bug)."""
+
+
+class ThreadReplayError(SimulatorError):
+    """A thread diverged during checkpoint replay.
+
+    Simulated threads must be deterministic functions of the values the
+    simulator hands back for each yielded operation; W+ rollback relies
+    on replaying that prefix.  Divergence means the thread broke the
+    contract (e.g. consulted an unseeded RNG or wall-clock time).
+    """
+
+
+class SCViolationError(SimulatorError):
+    """An execution was found to violate sequential consistency."""
+
+    def __init__(self, message, cycle=()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)

@@ -1,0 +1,213 @@
+"""Simulation statistics.
+
+The paper's figures plot per-core cycle breakdowns (Busy / Fence Stall /
+Other Stall) and Table 4 reports event rates (fences per 1000
+instructions, BS occupancy, bounces, retries, traffic, recoveries).
+:class:`MachineStats` accumulates all of it; cores and protocol agents
+write into it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class CoreCycleBreakdown:
+    """Per-core cycle accounting matching the stacked bars of Figs 8/10/11."""
+
+    __slots__ = ("busy", "fence_stall", "other_stall")
+
+    def __init__(self):
+        self.busy = 0.0
+        self.fence_stall = 0.0
+        self.other_stall = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.fence_stall + self.other_stall
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "busy": self.busy,
+            "fence_stall": self.fence_stall,
+            "other_stall": self.other_stall,
+        }
+
+
+class MachineStats:
+    """All counters for one simulation run."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self.breakdown = [CoreCycleBreakdown() for _ in range(num_cores)]
+
+        # instruction / fence counts (per core)
+        self.instructions = [0] * num_cores
+        self.sf_executed = [0] * num_cores
+        self.wf_executed = [0] * num_cores
+        #: Wee fences demoted to sf by the GRT confinement rule.
+        self.wee_sf_conversions = [0] * num_cores
+
+        # bypass-set behaviour
+        self.bs_occupancy_samples: List[int] = []
+        self.bs_insertions = 0
+        self.bs_overflow_stalls = 0
+        #: external write transactions rejected by some BS.
+        self.bounces = 0
+        #: retries issued by bounced writers (a write bounced N times
+        #: contributes N retries).
+        self.write_retries = 0
+        #: distinct writes that bounced at least once.
+        self.bounced_writes = 0
+
+        # order / conditional-order transactions
+        self.order_ops = 0
+        self.cond_order_ops = 0
+        self.cond_order_failures = 0
+
+        # W+ recovery
+        self.wplus_timeouts = 0
+        self.wplus_recoveries = 0
+
+        # l-mf extension: store-conditional fast paths vs fallbacks
+        self.lmf_fast = 0
+        self.lmf_fallbacks = 0
+
+        # C-fence extension: fences skipped (no associate) vs stalled
+        self.cfence_skips = 0
+        self.cfence_stalls = 0
+
+        # memory system
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l1_evictions = 0
+        self.dirty_writebacks = 0
+        self.bs_keep_sharer = 0
+        self.network_bytes = 0
+        #: bytes attributable to bounce retries (Table 4 traffic cols).
+        self.retry_bytes = 0
+        self.coherence_transactions = 0
+
+        # STM-level (filled by the txn runner, not the machine)
+        self.txn_commits = 0
+        self.txn_aborts = 0
+        self.txn_cycles = 0
+
+        # work-stealing-level
+        self.tasks_executed = 0
+        self.tasks_stolen = 0
+
+        # final clock, filled in by Machine.run()
+        self.cycles = 0
+
+    # --- accumulation helpers ----------------------------------------
+
+    def add_busy(self, core: int, cycles: float) -> None:
+        self.breakdown[core].busy += cycles
+
+    def add_fence_stall(self, core: int, cycles: float) -> None:
+        self.breakdown[core].fence_stall += cycles
+
+    def add_other_stall(self, core: int, cycles: float) -> None:
+        self.breakdown[core].other_stall += cycles
+
+    def sample_bs_occupancy(self, entries: int) -> None:
+        self.bs_occupancy_samples.append(entries)
+
+    # --- derived metrics (Table 4 columns) ----------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    @property
+    def total_sf(self) -> int:
+        return sum(self.sf_executed)
+
+    @property
+    def total_wf(self) -> int:
+        return sum(self.wf_executed)
+
+    def per_kilo_inst(self, count: int) -> float:
+        """Events per 1000 dynamic instructions."""
+        insts = self.total_instructions
+        return 1000.0 * count / insts if insts else 0.0
+
+    @property
+    def sf_per_kilo_inst(self) -> float:
+        return self.per_kilo_inst(self.total_sf)
+
+    @property
+    def wf_per_kilo_inst(self) -> float:
+        return self.per_kilo_inst(self.total_wf)
+
+    @property
+    def mean_bs_lines(self) -> float:
+        """Average #line addresses in the BS of a wf (Table 4 col 5)."""
+        if not self.bs_occupancy_samples:
+            return 0.0
+        return sum(self.bs_occupancy_samples) / len(self.bs_occupancy_samples)
+
+    @property
+    def bounces_per_wf(self) -> float:
+        wf = self.total_wf
+        return self.bounced_writes / wf if wf else 0.0
+
+    @property
+    def retries_per_bounced_write(self) -> float:
+        if not self.bounced_writes:
+            return 0.0
+        return self.write_retries / self.bounced_writes
+
+    @property
+    def recoveries_per_wf(self) -> float:
+        wf = self.total_wf
+        return self.wplus_recoveries / wf if wf else 0.0
+
+    @property
+    def traffic_increase_pct(self) -> float:
+        """Extra network bytes due to bounce retries, as a percentage."""
+        base = self.network_bytes - self.retry_bytes
+        return 100.0 * self.retry_bytes / base if base else 0.0
+
+    # --- aggregate breakdown -------------------------------------------
+
+    def total_breakdown(self) -> Dict[str, float]:
+        """Sum of per-core breakdowns (for the averaged stacked bars)."""
+        out = {"busy": 0.0, "fence_stall": 0.0, "other_stall": 0.0}
+        for b in self.breakdown:
+            out["busy"] += b.busy
+            out["fence_stall"] += b.fence_stall
+            out["other_stall"] += b.other_stall
+        return out
+
+    @property
+    def fence_stall_fraction(self) -> float:
+        """Fence-stall cycles as a fraction of all accounted cycles."""
+        t = self.total_breakdown()
+        total = t["busy"] + t["fence_stall"] + t["other_stall"]
+        return t["fence_stall"] / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline metrics (used by the eval harness)."""
+        t = self.total_breakdown()
+        return {
+            "cycles": self.cycles,
+            "instructions": self.total_instructions,
+            "busy": t["busy"],
+            "fence_stall": t["fence_stall"],
+            "other_stall": t["other_stall"],
+            "sf_per_ki": self.sf_per_kilo_inst,
+            "wf_per_ki": self.wf_per_kilo_inst,
+            "bs_lines": self.mean_bs_lines,
+            "bounces_per_wf": self.bounces_per_wf,
+            "retries_per_wr": self.retries_per_bounced_write,
+            "traffic_incr_pct": self.traffic_increase_pct,
+            "recoveries_per_wf": self.recoveries_per_wf,
+            "txn_commits": self.txn_commits,
+            "txn_aborts": self.txn_aborts,
+            "tasks_executed": self.tasks_executed,
+            "tasks_stolen": self.tasks_stolen,
+            "network_bytes": self.network_bytes,
+        }

@@ -1,0 +1,146 @@
+"""The Bypass Set (BS).
+
+Per WeeFence (paper §2.2) and §3.2: when a post-weak-fence access
+completes before the fence does, its address enters the core's BS.  The
+cache controller checks every incoming coherence request against the BS
+**before** the cache (so monitoring survives evictions, §5.1) and, on a
+line-granularity match, rejects (bounces) invalidating requests.
+
+* WS+/W+/Wee keep line addresses only.
+* SW+ additionally keeps the accessed word mask so Conditional Order
+  can distinguish true from false sharing (§3.3.2).
+
+Entries are tagged with the id of the youngest incomplete fence at
+insertion time; completing fence *f* clears every entry tagged <= f
+(fences complete in order under TSO's FIFO write-buffer drain).
+
+A Bloom-filter front end (mentioned in §3.2 to cut comparison energy)
+is modeled functionally: a membership fast-path that can only produce
+false positives, backed by the exact entry list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+class BloomFilter:
+    """Tiny counting-free Bloom filter over line addresses.
+
+    Rebuilt on clears (real hardware would use epochs or counters); the
+    exact list below it keeps correctness independent of this filter.
+    """
+
+    def __init__(self, bits: int = 256, hashes: int = 2):
+        self.bits = bits
+        self.hashes = hashes
+        self._word = 0
+
+    def _positions(self, line: int) -> Iterable[int]:
+        h = line * 0x9E3779B1
+        for i in range(self.hashes):
+            yield ((h >> (i * 8)) ^ (h >> 17)) % self.bits
+
+    def add(self, line: int) -> None:
+        for pos in self._positions(line):
+            self._word |= 1 << pos
+
+    def maybe_contains(self, line: int) -> bool:
+        return all(self._word & (1 << pos) for pos in self._positions(line))
+
+    def clear(self) -> None:
+        self._word = 0
+
+
+@dataclass
+class BSEntry:
+    line: int
+    word_mask: int
+    fence_id: int
+
+
+class BypassSet:
+    """One core's Bypass Set."""
+
+    def __init__(self, capacity: int, fine_grain: bool = False):
+        self.capacity = capacity
+        #: keep per-word masks (SW+)
+        self.fine_grain = fine_grain
+        self._entries: Dict[int, BSEntry] = {}
+        self._bloom = BloomFilter()
+        #: True if this BS has bounced an external request since the
+        #: last clear (one of the two W+ deadlock-suspicion conditions).
+        self.bounced_since_clear = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def add(self, line: int, word_mask: int, fence_id: int) -> None:
+        """Record a completed post-fence access.  Caller checks ``full``."""
+        assert not self.full or line in self._entries, "BS overflow"
+        entry = self._entries.get(line)
+        if entry is None:
+            self._entries[line] = BSEntry(line, word_mask, fence_id)
+            self._bloom.add(line)
+        else:
+            entry.word_mask |= word_mask
+            # keep the entry alive until the *youngest* covering fence
+            entry.fence_id = max(entry.fence_id, fence_id)
+
+    def match_line(self, line: int) -> bool:
+        """Line-granularity check applied to incoming coherence requests."""
+        if not self._bloom.maybe_contains(line):
+            return False
+        return line in self._entries
+
+    def true_sharing(self, line: int, word_mask: int) -> bool:
+        """Would this request's words overlap the BS's accessed words?
+
+        Only meaningful in fine-grain (SW+) mode; coarse-grain BSs treat
+        every line match as potentially true sharing.
+        """
+        entry = self._entries.get(line)
+        if entry is None:
+            return False
+        if not self.fine_grain:
+            return True
+        return bool(entry.word_mask & word_mask)
+
+    def note_bounce(self) -> None:
+        self.bounced_since_clear = True
+
+    def clear_upto(self, fence_id: int) -> int:
+        """Drop entries belonging to fences <= *fence_id*; returns count."""
+        doomed = [l for l, e in self._entries.items() if e.fence_id <= fence_id]
+        for line in doomed:
+            del self._entries[line]
+        if doomed:
+            self._rebuild_bloom()
+        if not self._entries:
+            self.bounced_since_clear = False
+        return len(doomed)
+
+    def clear_all(self) -> int:
+        """Drop everything (W+ recovery).  Returns entries dropped."""
+        n = len(self._entries)
+        self._entries.clear()
+        self._bloom.clear()
+        self.bounced_since_clear = False
+        return n
+
+    def _rebuild_bloom(self) -> None:
+        self._bloom.clear()
+        for line in self._entries:
+            self._bloom.add(line)
+
+    def lines(self):
+        return self._entries.keys()

@@ -1,0 +1,632 @@
+"""The core (CPU) model.
+
+Consumes operations from a :class:`~repro.core.thread.SimThread` and
+turns them into timed activity against the memory system:
+
+* ``Compute`` — ``n / issue_width`` busy cycles.
+* ``Load`` — write-buffer forwarding, L1 hit (fully pipelined: one
+  issue slot), or a GetS miss whose latency beyond the issue slot is
+  *Other Stall*.  While a weak fence is incomplete, the performed
+  load's line enters the Bypass Set (stalling if the BS is full) and
+  Wee's RemotePS / directory-confinement checks apply.
+* ``Store`` — retires into the TSO write buffer (stall on full =
+  *Other Stall*); a drain engine merges entries one at a time, retrying
+  bounced transactions with back-off and the design's Order /
+  Conditional-Order promotions.
+* ``Fence`` — sf: block until the pre-fence stores merge, charging
+  *Fence Stall* (+ ``sf_base_cycles``); wf: retire immediately and
+  track a :class:`~repro.fences.base.PendingFence` (checkpointing the
+  thread under W+).
+* ``AtomicRMW`` — drains the write buffer (fence semantics under TSO),
+  then read-modify-writes atomically at the memory system.
+
+Timing/accounting invariant: every simulated cycle of a core belongs to
+exactly one of Busy / Fence Stall / Other Stall, matching the paper's
+stacked bars.
+
+A micro-batch fast path executes runs of purely-local operations
+(compute, WB hits, L1 hits with no fence outstanding) inside a single
+event to keep the Python event count manageable; `batch_cycles = 0`
+disables it for interleaving-exact runs (litmus tests).
+
+W+ recovery uses *epoch guards*: every thread-continuation callback
+captures the core's rollback epoch and becomes a no-op if a recovery
+intervened, so in-flight load replies cannot resurrect squashed work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from repro.common.events import EventQueue
+from repro.common.params import FenceFlavour, MachineParams
+from repro.common.stats import MachineStats
+from repro.core import isa
+from repro.core.thread import SimThread
+from repro.fences.base import FencePolicy, PendingFence, make_policy
+from repro.mem.l1controller import L1Controller
+from repro.mem.memory import MemoryImage
+from repro.mem.writebuffer import StoreEntry, WriteBuffer
+
+
+class _SfWait:
+    """Bookkeeping for a blocking wait on write-buffer drain."""
+
+    __slots__ = ("store_id", "callback")
+
+    def __init__(self, store_id: int, callback: Callable[[], None]):
+        self.store_id = store_id
+        self.callback = callback
+
+
+class Core:
+    """One simulated processor."""
+
+    def __init__(
+        self,
+        core_id: int,
+        params: MachineParams,
+        stats: MachineStats,
+        queue: EventQueue,
+        l1: L1Controller,
+        image: MemoryImage,
+        machine,
+    ):
+        self.core_id = core_id
+        self.params = params
+        self.stats = stats
+        self.queue = queue
+        self.l1 = l1
+        self.image = image
+        self.machine = machine
+        self.amap = l1.amap
+        self.bs = l1.bs
+        self.wb = WriteBuffer(params.write_buffer_entries)
+        self.policy: FencePolicy = make_policy(params.fence_design, self)
+        self.thread: Optional[SimThread] = None
+        self.finished = True  # no thread bound yet
+
+        self._issue_slot = 1.0 / params.issue_width
+        self._fence_counter = 0
+        #: incomplete weak fences, oldest first
+        self.pending_fences: List[PendingFence] = []
+        self._drain_busy = False
+        self._sf_wait: Optional[_SfWait] = None
+        self._wb_full_waiter: Optional[Callable[[], None]] = None
+        #: (retry_fn, t0) for a load stalled by a Wee check / full BS
+        self._stalled_load: Optional[tuple] = None
+        #: rollback epoch for guarding stale continuations (W+)
+        self._epoch = 0
+        #: id of the newest store known to have merged (fence completion)
+        self._last_merged_store_id = 0
+        self._dl_timer = None
+        self._txn_t0: Optional[float] = None
+        #: progress signals for the no-progress watchdog
+        self.ops_committed = 0
+        self.stores_merged = 0
+        #: rollback-aware observations collected via ops.Note
+        self.notes: List[tuple] = []
+        #: (po, kind, delta) journal to reverse Marks on W+ recovery
+        self._mark_journal: List[tuple] = []
+        #: pending (store_id, table) C-fence registrations to clear
+        self._cfence_clears: List[tuple] = []
+
+        if self.policy.needs_deadlock_monitor:
+            self.l1.on_bs_bounce = self._check_deadlock_monitor
+
+    # ------------------------------------------------------------------
+    # thread binding / start
+    # ------------------------------------------------------------------
+
+    def bind(self, thread: SimThread) -> None:
+        self.thread = thread
+        self.finished = False
+
+    def start(self) -> None:
+        if self.thread is None:
+            return
+        self.queue.schedule(0, self._guard(lambda: self._advance(None)), "cpu.start")
+
+    # ------------------------------------------------------------------
+    # epoch guard (W+ recovery safety)
+    # ------------------------------------------------------------------
+
+    def _guard(self, fn: Callable) -> Callable:
+        epoch = self._epoch
+
+        def guarded(*args):
+            if self._epoch == epoch:
+                fn(*args)
+
+        return guarded
+
+    # ------------------------------------------------------------------
+    # main execution loop
+    # ------------------------------------------------------------------
+
+    def _advance(self, result) -> None:
+        """Consume ops until one needs global interaction or the
+        micro-batch window closes, then schedule the continuation."""
+        elapsed = 0.0
+        budget = self.params.batch_cycles
+        while True:
+            op = self.thread.next_op(result)
+            result = None
+            self.ops_committed += 1
+            if op is None:
+                self._finish_thread(elapsed)
+                return
+
+            if isinstance(op, isa.Compute):
+                n = op.instructions
+                self.stats.instructions[self.core_id] += n
+                cycles = n * self._issue_slot
+                self.stats.add_busy(self.core_id, cycles)
+                elapsed += cycles
+            elif isinstance(op, isa.Mark):
+                self._handle_mark(op, elapsed)
+            elif isinstance(op, isa.Note):
+                self.notes.append((self.thread.ops_committed, op.payload))
+            elif isinstance(op, isa.Store):
+                if self.wb.full:
+                    self._later(elapsed, lambda op=op: self._exec_store_blocked(op))
+                    return
+                self._retire_store(op)
+                elapsed += self._issue_slot
+            elif isinstance(op, isa.Load):
+                word = self.amap.word_of(op.addr)
+                fwd = self.wb.forward(word)
+                if fwd is not None:
+                    self.stats.instructions[self.core_id] += 1
+                    self.stats.add_busy(self.core_id, self._issue_slot)
+                    elapsed += 1.0  # store-to-load forwarding latency
+                    result = fwd
+                elif not self.pending_fences and \
+                        self.l1.cache.lookup(self.amap.line_of(op.addr)) is not None:
+                    # L1 hit with no fence outstanding: fully pipelined
+                    self.stats.instructions[self.core_id] += 1
+                    self.stats.add_busy(self.core_id, self._issue_slot)
+                    self.stats.l1_hits += 1
+                    elapsed += self._issue_slot
+                    self._note_po(self.thread.ops_committed)
+                    result = self.image.read(word, self.core_id)
+                else:
+                    self._later(elapsed, lambda op=op: self._exec_load(op))
+                    return
+            elif isinstance(op, isa.Fence):
+                self._later(elapsed, lambda op=op: self._exec_fence(op))
+                return
+            elif isinstance(op, isa.AtomicRMW):
+                self._later(elapsed, lambda op=op: self._exec_rmw(op))
+                return
+            else:
+                raise TypeError(f"thread {self.thread.tid} yielded {op!r}")
+
+            if budget and elapsed >= budget:
+                self._later(elapsed, lambda r=result: self._advance(r))
+                return
+            if not budget:
+                # batching disabled: one op per event
+                self._later(max(elapsed, 1.0),
+                            lambda r=result: self._advance(r))
+                return
+
+    def _later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.queue.schedule(int(math.ceil(delay)), self._guard(fn), "cpu.cont")
+
+    def _finish_thread(self, elapsed: float) -> None:
+        self.finished = True
+        self.queue.schedule(
+            int(math.ceil(elapsed)),
+            lambda: self.machine.thread_finished(self),
+            "cpu.done",
+        )
+
+    # ------------------------------------------------------------------
+    # marks (zero-time statistics)
+    # ------------------------------------------------------------------
+
+    _MARK_COUNTERS = {
+        "txn_commit": "txn_commits",
+        "txn_abort": "txn_aborts",
+        "task_executed": "tasks_executed",
+        "task_stolen": "tasks_stolen",
+    }
+
+    def _handle_mark(self, op: isa.Mark, elapsed: float) -> None:
+        now = self.queue.now + elapsed
+        po = self.thread.ops_committed
+        journal = self.policy.needs_checkpoint
+        if op.kind in self._MARK_COUNTERS:
+            attr = self._MARK_COUNTERS[op.kind]
+            setattr(self.stats, attr, getattr(self.stats, attr) + op.amount)
+            if journal:
+                self._mark_journal.append((po, attr, op.amount))
+        elif op.kind == "txn_cycles_begin":
+            self._txn_t0 = now
+        elif op.kind == "txn_cycles_end":
+            if self._txn_t0 is not None:
+                delta = now - self._txn_t0
+                self.stats.txn_cycles += delta
+                self._txn_t0 = None
+                if journal:
+                    self._mark_journal.append((po, "txn_cycles", delta))
+        else:
+            raise ValueError(f"unknown Mark kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # stores and the drain engine
+    # ------------------------------------------------------------------
+
+    def _note_po(self, po: int) -> None:
+        """Tell the SC-violation recorder (if any) the program-order
+        index of the access about to touch the memory image."""
+        recorder = self.machine.recorder
+        if recorder is not None:
+            recorder.note_po(self.core_id, po)
+
+    def _retire_store(self, op: isa.Store) -> None:
+        word = self.amap.word_of(op.addr)
+        self.stats.instructions[self.core_id] += 1
+        self.stats.add_busy(self.core_id, self._issue_slot)
+        entry = self.wb.push(word, op.value, self.amap.line_of(word))
+        entry.po = self.thread.ops_committed
+        self._kick_drain()
+
+    def _exec_store_blocked(self, op: isa.Store) -> None:
+        """Retire a store once a write-buffer slot frees up."""
+        t0 = self.queue.now
+
+        def on_slot():
+            self.stats.add_other_stall(self.core_id, self.queue.now - t0)
+            self._retire_store(op)
+            self._advance(None)
+
+        if not self.wb.full:
+            on_slot()
+            return
+        self._wb_full_waiter = self._guard(on_slot)
+        self._kick_drain()
+
+    def _kick_drain(self) -> None:
+        if self._drain_busy or self.wb.empty:
+            return
+        self._drain_busy = True
+        entry = self.wb.head()
+        entry.issued = True
+        self._issue_head(entry)
+
+    def _issue_head(self, entry: StoreEntry) -> None:
+        self.l1.issue_store(
+            entry,
+            on_done=lambda: self._store_merged(entry),
+            on_bounce=lambda: self._store_bounced(entry),
+        )
+
+    def _store_merged(self, entry: StoreEntry) -> None:
+        head = self.wb.pop_head()
+        assert head is entry, "drain engine out of sync"
+        self._drain_busy = False
+        self.stores_merged += 1
+        self._on_store_completed(entry.store_id)
+        self._kick_drain()
+
+    def _store_bounced(self, entry: StoreEntry) -> None:
+        if not entry.bouncing:
+            self.stats.bounced_writes += 1
+        entry.bouncing = True
+        entry.retries += 1
+        self.stats.write_retries += 1
+        self.policy.on_pre_store_bounce(entry)
+        self._check_deadlock_monitor()
+        self.queue.schedule(
+            self.params.bounce_retry_cycles,
+            lambda: self._retry_head(entry),
+            "cpu.store_retry",
+        )
+
+    def _retry_head(self, entry: StoreEntry) -> None:
+        # the entry is still the head (FIFO; it never merged)
+        if self.wb.head() is entry:
+            self._issue_head(entry)
+        else:  # pragma: no cover - defensive
+            self._drain_busy = False
+            self._kick_drain()
+
+    def _on_store_completed(self, store_id: int) -> None:
+        """A store merged: complete fences, wake drain waiters."""
+        self._last_merged_store_id = max(self._last_merged_store_id, store_id)
+        self._complete_ready_fences()
+        if self._cfence_clears:
+            due = [t for sid, t in self._cfence_clears if sid <= store_id]
+            if due:
+                self._cfence_clears = [
+                    (sid, t) for sid, t in self._cfence_clears
+                    if sid > store_id
+                ]
+                for table in due:
+                    table.clear(self.core_id)
+        if not self.pending_fences and self._mark_journal:
+            # no rollback can reach behind this point anymore
+            self._mark_journal.clear()
+        if self._stalled_load is not None:
+            self.retry_stalled_load()
+        if self._sf_wait is not None and self._sf_wait.store_id <= store_id:
+            wait, self._sf_wait = self._sf_wait, None
+            wait.callback()
+        if self._wb_full_waiter is not None and not self.wb.full:
+            waiter, self._wb_full_waiter = self._wb_full_waiter, None
+            waiter()
+
+    def _complete_ready_fences(self) -> None:
+        while self.pending_fences:
+            pf = self.pending_fences[0]
+            if pf.last_store_id > self._last_merged_store_id:
+                break
+            if self.policy.completion_blocked(pf):
+                break  # e.g. Wee waiting for its GRT acknowledgment
+            self.pending_fences.pop(0)
+            self.stats.sample_bs_occupancy(len(self.bs))
+            self.bs.clear_upto(pf.fence_id)
+            self.policy.on_wf_complete(pf)
+
+    def recheck_fence_completion(self) -> None:
+        """Re-run fence completion after an external unblock event
+        (the Wee GRT acknowledgment arriving)."""
+        self._complete_ready_fences()
+        if self._stalled_load is not None:
+            self.retry_stalled_load()
+
+    # ------------------------------------------------------------------
+    # loads (slow path: misses, or any load under an incomplete fence)
+    # ------------------------------------------------------------------
+
+    def _exec_load(self, op: isa.Load) -> None:
+        word = self.amap.word_of(op.addr)
+        fwd = self.wb.forward(word)
+        if fwd is not None:
+            self.stats.instructions[self.core_id] += 1
+            self.stats.add_busy(self.core_id, self._issue_slot)
+            self._later(1.0, lambda: self._advance(fwd))
+            return
+        reason = self.policy.load_stall_check(op.addr)
+        if reason is not None:
+            self._stall_load(lambda: self._exec_load(op))
+            return
+        t0 = self.queue.now
+        po = self.thread.ops_committed
+        self.stats.instructions[self.core_id] += 1
+        self.stats.add_busy(self.core_id, self._issue_slot)
+
+        def on_done(was_hit: bool) -> None:
+            latency = self.queue.now - t0
+            self.stats.add_other_stall(
+                self.core_id, max(0.0, latency - self._issue_slot)
+            )
+            self._load_performed(op, word, po)
+
+        self.l1.read(op.addr, self._guard(on_done))
+
+    def _load_performed(self, op: isa.Load, word: int, po: int) -> None:
+        """The load's data is back; retire it (BS insertion if post-wf)."""
+        if self.pending_fences:
+            if self.bs.full and not self.bs.match_line(self.amap.line_of(word)):
+                # cannot track another line: the load waits for a fence
+                # to complete and clear BS space (WeeFence behaviour).
+                self.stats.bs_overflow_stalls += 1
+                self._stall_load(lambda: self._load_performed(op, word, po))
+                return
+            self.bs.add(
+                self.amap.line_of(word),
+                self.amap.word_mask(word),
+                self.pending_fences[-1].fence_id,
+            )
+            self.stats.bs_insertions += 1
+        self._note_po(po)
+        value = self.image.read(word, self.core_id)
+        self._advance(value)
+
+    def _stall_load(self, retry: Callable[[], None]) -> None:
+        """Park a load until a fence completes (fence-induced stall)."""
+        self._stalled_load = (self._guard(retry), self.queue.now)
+
+    def retry_stalled_load(self) -> None:
+        """Re-attempt a parked load (fence completed / RemotePS arrived)."""
+        if self._stalled_load is None:
+            return
+        retry, t0 = self._stalled_load
+        self._stalled_load = None
+        self.stats.add_fence_stall(self.core_id, self.queue.now - t0)
+        retry()
+
+    # ------------------------------------------------------------------
+    # fences
+    # ------------------------------------------------------------------
+
+    def _exec_fence(self, op: isa.Fence) -> None:
+        self.stats.instructions[self.core_id] += 1
+        self.stats.add_busy(self.core_id, self._issue_slot)
+        flavour = self.policy.flavour(op.role)
+        if flavour is FenceFlavour.SF:
+            self.stats.sf_executed[self.core_id] += 1
+            custom = self.policy.custom_strong_fence
+            if custom is not None:
+                custom(self._guard(lambda: self._advance(None)))
+                return
+            self._run_strong_fence()
+            return
+        # weak fence
+        if self.wb.empty:
+            # no pending pre-fence stores: the fence completes at
+            # retirement for every design (nothing to reorder past).
+            self.stats.wf_executed[self.core_id] += 1
+            self._later(1.0, lambda: self._advance(None))
+            return
+        self._fence_counter += 1
+        pf = PendingFence(
+            fence_id=self._fence_counter,
+            last_store_id=self.wb.newest_store_id(),
+        )
+        if not self.policy.on_wf_retire(pf):
+            # Wee confinement failure: execute as a conventional fence
+            self.stats.sf_executed[self.core_id] += 1
+            self.stats.wee_sf_conversions[self.core_id] += 1
+            self._run_strong_fence()
+            return
+        self.stats.wf_executed[self.core_id] += 1
+        if self.policy.needs_checkpoint:
+            pf.checkpoint = self.thread.checkpoint()
+        self.pending_fences.append(pf)
+        self._later(1.0, lambda: self._advance(None))
+
+    def _run_strong_fence(self) -> None:
+        t0 = self.queue.now
+        base = self.policy.sf_base_cost()
+
+        def done():
+            self.stats.add_fence_stall(
+                self.core_id, (self.queue.now - t0) + base
+            )
+            self._later(base, lambda: self._advance(None))
+
+        self._wait_for_drain(self._guard(done))
+
+    def _wait_for_drain(self, callback: Callable[[], None]) -> None:
+        if self.wb.empty:
+            callback()
+            return
+        assert self._sf_wait is None, "nested drain waits"
+        self._sf_wait = _SfWait(self.wb.newest_store_id(), callback)
+        self._kick_drain()
+
+    def register_cfence_clear(self, store_id: int, table) -> None:
+        """Clear this core's centralized-table entry once the fence's
+        pre-fence stores (up to *store_id*) have merged."""
+        self._cfence_clears.append((store_id, table))
+
+    def recount_wee_conversion(self) -> None:
+        """A Wee wf dynamically converted to sf (post-fence access left
+        the confined directory module): fix the Table-4 counts."""
+        self.stats.wf_executed[self.core_id] -= 1
+        self.stats.sf_executed[self.core_id] += 1
+        self.stats.wee_sf_conversions[self.core_id] += 1
+
+    # ------------------------------------------------------------------
+    # atomic read-modify-write
+    # ------------------------------------------------------------------
+
+    def _exec_rmw(self, op: isa.AtomicRMW) -> None:
+        self.stats.instructions[self.core_id] += 1
+        self.stats.add_busy(self.core_id, self._issue_slot)
+        t0 = self.queue.now
+        word = self.amap.word_of(op.addr)
+        po = self.thread.ops_committed
+
+        def after_drain():
+            def on_done(old: int) -> None:
+                self.stats.add_other_stall(
+                    self.core_id,
+                    max(0.0, (self.queue.now - t0) - self._issue_slot),
+                )
+                self._advance(old)
+
+            def on_bounce() -> None:
+                self.stats.write_retries += 1
+                self.queue.schedule(
+                    self.params.bounce_retry_cycles,
+                    self._guard(issue),
+                    "cpu.rmw_retry",
+                )
+
+            def issue() -> None:
+                self.l1.issue_rmw(
+                    word, op.apply, self._guard(on_done), on_bounce, po
+                )
+
+            issue()
+
+        self._wait_for_drain(self._guard(after_drain))
+
+    # ------------------------------------------------------------------
+    # W+ deadlock suspicion and recovery
+    # ------------------------------------------------------------------
+
+    def _deadlock_suspected(self) -> bool:
+        return bool(
+            self.pending_fences
+            and self.wb.any_bouncing()
+            and not self.bs.empty
+            and self.bs.bounced_since_clear
+        )
+
+    def _check_deadlock_monitor(self) -> None:
+        if not self.policy.needs_deadlock_monitor:
+            return
+        if not self.params.wplus_recovery_enabled:
+            return  # naive design (Fig. 3a): let the deadlock stand
+        if self._dl_timer is not None:
+            return
+        if not self._deadlock_suspected():
+            return
+        self.stats.wplus_timeouts += 1
+        delay = (
+            self.params.wplus_timeout_cycles
+            + self.core_id * self.params.wplus_timeout_jitter_cycles
+        )
+        self._dl_timer = self.queue.schedule(
+            delay, self._dl_expired, "cpu.wplus_timeout"
+        )
+
+    def _dl_expired(self) -> None:
+        self._dl_timer = None
+        if self._deadlock_suspected():
+            self._recover()
+        # conditions cleared on their own: no action, monitor re-arms
+        # on the next bounce.
+
+    def _recover(self) -> None:
+        """W+ rollback (paper §3.3.3).
+
+        Restore the thread to the oldest incomplete wf, squash the
+        not-yet-merged post-fence stores, clear the BS (unblocking the
+        remote writer), then drain the write buffer before resuming —
+        the wf behaves as an sf this one time.
+        """
+        self.stats.wplus_recoveries += 1
+        pf = self.pending_fences[0]
+        assert pf.checkpoint is not None
+        self._epoch += 1  # invalidate in-flight thread continuations
+        self.pending_fences.clear()
+        self._sf_wait = None
+        self._wb_full_waiter = None
+        self._stalled_load = None
+        self._txn_t0 = None
+        self.thread.rollback(pf.checkpoint)
+        self.finished = False
+        self.wb.drop_after(pf.last_store_id)
+        self.bs.clear_all()
+        if self.machine.recorder is not None:
+            self.machine.recorder.squash(self.core_id, pf.checkpoint)
+        # squash side effects of the discarded (post-checkpoint) region:
+        # collected notes and already-applied statistics marks.
+        self.notes = [n for n in self.notes if n[0] <= pf.checkpoint]
+        keep = []
+        for po, attr, delta in self._mark_journal:
+            if po > pf.checkpoint:
+                setattr(self.stats, attr, getattr(self.stats, attr) - delta)
+            else:
+                keep.append((po, attr, delta))
+        self._mark_journal = keep
+        t0 = self.queue.now
+
+        def resume():
+            self.stats.add_fence_stall(
+                self.core_id,
+                (self.queue.now - t0) + self.params.wplus_recovery_cycles,
+            )
+            self._later(
+                self.params.wplus_recovery_cycles, lambda: self._advance(None)
+            )
+
+        self._wait_for_drain(self._guard(resume))

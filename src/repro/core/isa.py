@@ -1,0 +1,110 @@
+"""The operations a simulated thread can yield to its core.
+
+Workloads are Python generator functions.  Each ``yield`` hands the core
+one of these operation descriptors; the value the generator receives
+back is the operation's result (the loaded value for :class:`Load`, the
+old value for :class:`AtomicRMW`, ``None`` otherwise).
+
+Threads must be *deterministic* functions of these results (see
+:mod:`repro.core.thread`): W+ rollback re-executes a thread prefix by
+replaying the recorded results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.params import FenceRole
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read one word of simulated shared memory."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write one word of simulated shared memory (retires into the WB)."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A memory fence, annotated with its asymmetric-group role.
+
+    The active :class:`~repro.common.params.FenceDesign` decides whether
+    this executes as an sf or a wf (``flavour_for``).
+    """
+
+    role: FenceRole = FenceRole.STANDARD
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """Atomic read-modify-write (exchange, fetch-add, CAS...).
+
+    Executes with fence semantics under TSO: the write buffer drains
+    first, then the RMW performs atomically at the memory system.  The
+    generator receives the **old** value.
+
+    ``op`` names the update: "xchg" (write operand), "add" (old +
+    operand), "cas" (write ``operand[1]`` iff old == ``operand[0]``).
+    """
+
+    addr: int
+    op: str
+    operand: object = 0
+
+    def apply(self, old: int) -> int:
+        if self.op == "xchg":
+            return int(self.operand)
+        if self.op == "add":
+            return old + int(self.operand)
+        if self.op == "cas":
+            expected, new = self.operand
+            return int(new) if old == expected else old
+        raise ValueError(f"unknown RMW op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Compute:
+    """*instructions* non-memory instructions of local work."""
+
+    instructions: int
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Zero-time statistics marker (transaction committed, task run...).
+
+    ``kind`` is one of the counters understood by the core:
+    ``txn_commit``, ``txn_abort``, ``task_executed``, ``task_stolen``,
+    ``txn_cycles_begin`` / ``txn_cycles_end`` (per-transaction cycle
+    accounting for Figure 10).
+    """
+
+    kind: str
+    amount: int = 1
+
+
+@dataclass(frozen=True)
+class Note:
+    """Zero-time, rollback-aware observation channel.
+
+    The core appends ``payload`` to its notes list when the op is
+    *dispatched* — replayed prefixes are not re-dispatched, and a W+
+    recovery discards notes past the checkpoint.  Thread code must use
+    this (never Python-side mutation) for any observable side effect:
+    plain list appends would be duplicated by checkpoint replay.
+    """
+
+    payload: object
+
+
+#: Operations that access the simulated shared memory.
+MEMORY_OPS = (Load, Store, AtomicRMW)

@@ -1,0 +1,128 @@
+"""Replayable simulated threads.
+
+A workload thread is a generator function ``fn(ctx)`` yielding
+:mod:`repro.core.isa` operations.  :class:`SimThread` wraps the
+generator and keeps a *committed log* of (operation, result) pairs.
+
+That log is the W+ register checkpoint (paper §3.3.3): rolling back to
+a checkpoint re-creates the generator and replays the logged prefix —
+with zero simulated time — then resumes live execution.  This works
+because threads are required to be deterministic functions of the
+results the simulator hands back (per-thread RNGs are re-seeded on
+every (re)creation via :class:`ThreadContext`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import ThreadReplayError
+from repro.core import isa
+
+
+class ThreadContext:
+    """Per-thread facilities handed to the workload generator.
+
+    ``rng`` is re-created from ``seed`` each time the generator is
+    (re)constructed, so replayed prefixes draw the same random numbers.
+    """
+
+    def __init__(self, tid: int, num_threads: int, seed: int, shared=None):
+        self.tid = tid
+        self.num_threads = num_threads
+        self.seed = seed
+        self.shared = shared  # workload-defined shared-state handle
+        self.rng = random.Random(seed)
+
+    def _reset_rng(self) -> None:
+        self.rng = random.Random(self.seed)
+
+
+class SimThread:
+    """One simulated thread with checkpoint/rollback support."""
+
+    def __init__(self, fn: Callable, ctx: ThreadContext):
+        self._fn = fn
+        self.ctx = ctx
+        self.tid = ctx.tid
+        self.finished = False
+        #: committed (op, result) pairs, the replay log
+        self._log: List[Tuple[object, object]] = []
+        self._gen = None
+        self._started = False
+        self._create_generator()
+        #: count of rollbacks performed (stats/debugging)
+        self.rollbacks = 0
+
+    def _create_generator(self) -> None:
+        self.ctx._reset_rng()
+        self._gen = self._fn(self.ctx)
+        self._started = False
+
+    # --- forward execution -------------------------------------------
+
+    def next_op(self, prev_result=None):
+        """Advance the generator; returns the next op or None when done.
+
+        *prev_result* is the result of the previously-yielded op; it is
+        appended to the committed log together with that op.
+        """
+        if self.finished:
+            return None
+        try:
+            if not self._started:
+                self._started = True
+                op = next(self._gen)
+            else:
+                # commit the previous op's result before advancing
+                self._log[-1] = (self._log[-1][0], prev_result)
+                op = self._gen.send(prev_result)
+        except StopIteration:
+            self.finished = True
+            return None
+        # provisional log entry; result filled in on the next call
+        self._log.append((op, None))
+        return op
+
+    # --- checkpointing --------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the current committed position (cheap: an index).
+
+        Call when the current op (typically a wf) has been *issued*; all
+        previously yielded ops are in the log.  The returned token
+        restores execution to just after the op most recently yielded.
+        """
+        return len(self._log)
+
+    def rollback(self, token: int) -> None:
+        """Discard execution past *token* and replay the prefix.
+
+        Replay is instantaneous in simulated time.  Raises
+        :class:`ThreadReplayError` if the thread yields a different
+        operation sequence during replay (nondeterminism).
+        """
+        if token > len(self._log):
+            raise ThreadReplayError(
+                f"thread {self.tid}: checkpoint {token} beyond log "
+                f"({len(self._log)} entries)"
+            )
+        prefix = self._log[:token]
+        self._create_generator()
+        self._log = []
+        self.finished = False
+        self.rollbacks += 1
+        for i, (expected_op, result) in enumerate(prefix):
+            op = self.next_op(None if i == 0 else prefix[i - 1][1])
+            if op != expected_op:
+                raise ThreadReplayError(
+                    f"thread {self.tid}: replay divergence at op {i}: "
+                    f"expected {expected_op!r}, got {op!r}"
+                )
+        # the last prefix op has been re-yielded; its result will be
+        # supplied by the core when it resumes with next_op(result).
+
+    @property
+    def ops_committed(self) -> int:
+        return len(self._log)

@@ -1,0 +1,122 @@
+"""Experiment-matrix runner.
+
+Runs (workload × fence design × core count) grids, optionally in
+parallel across processes (simulations are independent), and returns
+lightweight picklable summaries the figure/table generators consume.
+
+``REPRO_JOBS`` controls parallelism (default: up to 8 processes);
+``REPRO_SCALE`` scales workload sizes (see ``workloads.base``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.params import FenceDesign
+from repro.workloads.base import load_all_workloads, run_workload
+
+
+@dataclass
+class RunSummary:
+    """Picklable summary of one workload run."""
+
+    name: str
+    group: str
+    design: str
+    num_cores: int
+    cycles: int
+    completed: bool
+    #: cycle breakdown summed over cores
+    busy: float
+    fence_stall: float
+    other_stall: float
+    #: flat stats (MachineStats.summary())
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.fence_stall + self.other_stall
+
+    @property
+    def throughput(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return 1e6 * self.stats.get("txn_commits", 0) / self.cycles
+
+    @property
+    def txn_cycles_per_commit(self) -> float:
+        commits = self.stats.get("txn_commits", 0)
+        if not commits:
+            return 0.0
+        return self.stats.get("txn_cycles_total", 0.0) / commits
+
+
+def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
+    name, design_name, num_cores, scale, seed = job
+    load_all_workloads()
+    run = run_workload(
+        name, FenceDesign[design_name], num_cores=num_cores,
+        scale=scale, seed=seed,
+    )
+    stats = run.stats
+    breakdown = stats.total_breakdown()
+    flat = stats.summary()
+    flat["txn_cycles_total"] = stats.txn_cycles
+    flat["wee_sf_conversions"] = sum(stats.wee_sf_conversions)
+    flat["wplus_recoveries"] = stats.wplus_recoveries
+    flat["bounces"] = stats.bounces
+    return RunSummary(
+        name=name,
+        group=run.group,
+        design=str(run.design),
+        num_cores=num_cores,
+        cycles=run.cycles,
+        completed=run.result.completed,
+        busy=breakdown["busy"],
+        fence_stall=breakdown["fence_stall"],
+        other_stall=breakdown["other_stall"],
+        stats=flat,
+    )
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+def run_matrix(
+    names: Sequence[str],
+    designs: Sequence[FenceDesign],
+    num_cores: int = 8,
+    scale: float = 1.0,
+    seed: int = 12345,
+    core_counts: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
+) -> Dict[Tuple[str, str, int], RunSummary]:
+    """Run the full grid; returns {(name, design, cores): summary}."""
+    counts = list(core_counts) if core_counts else [num_cores]
+    grid = [
+        (name, design.name, cores, scale, seed)
+        for name in names
+        for design in designs
+        for cores in counts
+    ]
+    jobs = jobs or default_jobs()
+    results: List[RunSummary] = []
+    if jobs > 1 and len(grid) > 1:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(jobs, len(grid))) as pool:
+            results = pool.map(_run_one, grid)
+    else:
+        results = [_run_one(job) for job in grid]
+    return {
+        (r.name, r.design, r.num_cores): r for r in results
+    }

@@ -1,0 +1,28 @@
+"""S+ — the conventional-fence baseline.
+
+Every fence is a Strong Fence: the core stalls at retirement until all
+pre-fence stores have drained from the write buffer (TSO: one at a
+time), plus a pipeline-serialization constant (``sf_base_cycles``,
+calibrated so a fence preceded by several missing writes costs on the
+order of the 200 cycles the paper measured on a Xeon E5530).
+
+Speculative execution of post-fence loads (allowed for sfs, §2.1) only
+overlaps load latency with the drain; it never changes visibility
+order.  We fold that overlap into the calibration constant instead of
+modeling a lookahead window (see DESIGN.md).
+
+All the sf timing lives in the core; this policy only pins the mapping
+"every role -> SF".
+"""
+
+from __future__ import annotations
+
+from repro.common.params import FenceDesign, FenceFlavour, FenceRole
+from repro.fences.base import FencePolicy
+
+
+class StrongOnlyPolicy(FencePolicy):
+    design = FenceDesign.S_PLUS
+
+    def flavour(self, role: FenceRole) -> FenceFlavour:
+        return FenceFlavour.SF

@@ -1,0 +1,38 @@
+"""SW+ — any asymmetric fence group (paper §3.3.2).
+
+With several wfs in a group, some pre-wf writes *must* keep bouncing to
+prevent an SCV (Fig. 3c) — unconditional Order promotion (WS+) would
+order the write and close the dependence cycle.  SW+ therefore issues a
+**Conditional Order**: the request carries the word bitmask being
+written, the BS keeps word-granularity access info, and the directory
+completes the operation only when every BS match is due to *false
+sharing*.  True-sharing matches make the CO fail and retry — that
+bouncing is what prevents the SCV, and it terminates because every
+asymmetric group contains at least one sf.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import FenceDesign
+from repro.fences.base import FencePolicy, PendingFence
+
+
+class SWPlusPolicy(FencePolicy):
+    design = FenceDesign.SW_PLUS
+    fine_grain_bs = True
+
+    def on_wf_retire(self, pf: PendingFence) -> bool:
+        self.core.wb.mark_ordered_upto(
+            pf.last_store_id, word_mask_fn=self.core.amap.word_mask
+        )
+        return True
+
+    def on_pre_store_bounce(self, entry) -> None:
+        if self._is_pre_wf(entry):
+            entry.ordered = True
+            entry.word_mask = self.core.amap.word_mask(entry.word)
+
+    def _is_pre_wf(self, entry) -> bool:
+        return any(
+            entry.store_id <= pf.last_store_id for pf in self.core.pending_fences
+        )

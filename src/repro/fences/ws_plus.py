@@ -1,0 +1,38 @@
+"""WS+ — at most one weak fence per fence group (paper §3.3.1).
+
+Because every other fence in a colliding group is an sf (no BS), a
+pre-wf write of this core can only be bounced by an *unrelated* wf —
+never to prevent an SCV.  Such bouncing is therefore unnecessary, and
+the hardware promotes every currently-bouncing pre-wf write to an
+**Order** request: the directory invalidates the sharers but keeps the
+BS-matching ones as sharers (preserving their monitoring ability) and
+merges the update, so the write completes ordered *after* the remote
+post-wf read.
+
+Promotion happens (a) when the wf retires, for writes already bouncing,
+and (b) when a pre-wf write starts bouncing while a wf is incomplete.
+Writes followed by an sf keep bouncing (no special action — the paper
+notes sfs belong to non-critical threads).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import FenceDesign
+from repro.fences.base import FencePolicy, PendingFence
+
+
+class WSPlusPolicy(FencePolicy):
+    design = FenceDesign.WS_PLUS
+
+    def on_wf_retire(self, pf: PendingFence) -> bool:
+        self.core.wb.mark_ordered_upto(pf.last_store_id)
+        return True
+
+    def on_pre_store_bounce(self, entry) -> None:
+        if self._is_pre_wf(entry):
+            entry.ordered = True
+
+    def _is_pre_wf(self, entry) -> bool:
+        return any(
+            entry.store_id <= pf.last_store_id for pf in self.core.pending_fences
+        )

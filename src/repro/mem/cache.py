@@ -1,0 +1,98 @@
+"""Set-associative tag store with LRU replacement.
+
+Only tags and MESI states are stored — data values live in the global
+:class:`~repro.mem.memory.MemoryImage` (see that module's docstring for
+why).  Used for the private L1s; the shared L2 is modeled as
+latency-only backing behind the directory banks, which is where the
+paper's fence mechanisms live.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class LineState(enum.Enum):
+    """MESI stable states (I is represented by absence from the set)."""
+
+    M = "M"
+    E = "E"
+    S = "S"
+
+    @property
+    def writable(self) -> bool:
+        return self in (LineState.M, LineState.E)
+
+
+class SetAssocCache:
+    """An LRU set-associative cache of line states.
+
+    ``sets[i]`` is an OrderedDict mapping line address -> LineState with
+    LRU order (oldest first).
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int):
+        if size_bytes % (ways * line_bytes):
+            raise ConfigError("cache size must divide into ways*line_bytes")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self.sets: List["OrderedDict[int, LineState]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_of(self, line: int) -> "OrderedDict[int, LineState]":
+        return self.sets[(line // self.line_bytes) % self.num_sets]
+
+    def lookup(self, line: int, touch: bool = True) -> Optional[LineState]:
+        """State of *line* if present (updates LRU unless touch=False)."""
+        s = self._set_of(line)
+        state = s.get(line)
+        if state is not None and touch:
+            s.move_to_end(line)
+        return state
+
+    def set_state(self, line: int, state: LineState) -> None:
+        """Set/insert *line* with *state* (no eviction — use insert())."""
+        s = self._set_of(line)
+        s[line] = state
+        s.move_to_end(line)
+
+    def invalidate(self, line: int) -> Optional[LineState]:
+        """Remove *line*; returns its previous state (None if absent)."""
+        return self._set_of(line).pop(line, None)
+
+    def victim(self, line: int) -> Optional[Tuple[int, LineState]]:
+        """The (line, state) that inserting *line* would evict, or None."""
+        s = self._set_of(line)
+        if line in s or len(s) < self.ways:
+            return None
+        victim_line = next(iter(s))
+        return victim_line, s[victim_line]
+
+    def insert(self, line: int, state: LineState) -> Optional[Tuple[int, LineState]]:
+        """Insert *line*, evicting LRU if the set is full.
+
+        Returns the evicted (line, state) or None.  The caller is
+        responsible for issuing the writeback of a dirty victim.
+        """
+        s = self._set_of(line)
+        evicted = None
+        if line not in s and len(s) >= self.ways:
+            victim_line, victim_state = s.popitem(last=False)
+            evicted = (victim_line, victim_state)
+        s[line] = state
+        s.move_to_end(line)
+        return evicted
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+    def lines(self):
+        """Iterate over all (line, state) pairs (for tests/invariants)."""
+        for s in self.sets:
+            yield from s.items()

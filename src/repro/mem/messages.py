@@ -1,0 +1,94 @@
+"""Coherence message vocabulary and wire sizes.
+
+The directory protocol exchanges these message kinds.  Sizes follow the
+usual convention: a control message is one header flit; a data message
+carries a cache line.  Order/Conditional-Order requests additionally
+carry the write's data word(s) and, for CO, a word bitmask (paper
+§3.3.1–§3.3.2), which we charge as one extra word.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Msg(enum.Enum):
+    # requests (core -> directory)
+    GETS = "GetS"              # read miss
+    GETX = "GetX"              # write miss / upgrade
+    ORDER = "Order"            # GetX with O-bit set (WS+)
+    COND_ORDER = "CondOrder"   # GetX with O-bit + word mask (SW+)
+    PUTM = "PutM"              # dirty eviction writeback
+    GRT_DEPOSIT = "GrtDeposit"     # WeeFence PS deposit
+    GRT_WITHDRAW = "GrtWithdraw"   # WeeFence PS removal at fence completion
+
+    # directory -> core
+    DATA = "Data"              # line data reply
+    ACK = "Ack"                # permission granted, no data needed
+    NACK_BOUNCE = "NackBounce" # transaction rejected by a remote BS
+    NACK_BUSY = "NackBusy"     # line transaction in flight, retry
+    INV = "Inv"                # invalidate request to a sharer
+    DOWNGRADE = "Downgrade"    # M -> S request to the owner
+
+    # core -> directory (responses to Inv/Downgrade)
+    INV_ACK = "InvAck"
+    INV_BOUNCE = "InvBounce"       # BS match with O=0: refuse
+    INV_KEEP_SHARER = "InvKeepSharer"  # BS match with O=1: keep me a sharer
+    WB_DATA = "WbData"             # dirty data flushed on Inv/Downgrade
+
+
+#: header-only messages cost one flit (8 bytes of header), data messages
+#: cost header + line.  The paper's links are 256-bit (32B).
+HEADER_BYTES = 8
+
+
+def message_bytes(kind: Msg, line_bytes: int) -> int:
+    """Bytes a message of *kind* puts on the network."""
+    if kind in (Msg.DATA, Msg.WB_DATA, Msg.PUTM):
+        return HEADER_BYTES + line_bytes
+    if kind in (Msg.ORDER, Msg.COND_ORDER):
+        # carries the update word(s) + (for CO) the word bitmask
+        return HEADER_BYTES + 8
+    if kind in (Msg.GRT_DEPOSIT, Msg.GRT_WITHDRAW):
+        # carries the pending-set addresses (signature-compressed)
+        return HEADER_BYTES + 8
+    return HEADER_BYTES
+
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class Transaction:
+    """One coherence transaction in flight at the directory.
+
+    The directory serializes transactions per line: while one is in
+    flight the line is *busy* and later requests wait in a FIFO.
+    """
+
+    kind: Msg
+    requester: int
+    line: int
+    #: word bitmask being written (CO requests; 0 otherwise)
+    word_mask: int = 0
+    #: True if this request's O bit is set (Order / CondOrder)
+    ordered: bool = False
+    #: is this a retry of a previously bounced request?
+    is_retry: bool = False
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    # bookkeeping while invalidations are outstanding
+    pending_acks: int = 0
+    bounced: bool = False
+    #: cores to keep as sharers (BS matches on Order/CO; the evictor on
+    #: a keep-sharer PutM)
+    keep_sharers: Optional[set] = None
+    true_sharing_seen: bool = False
+    #: did the requester hold an S copy when processing began?
+    requester_was_sharer: bool = False
+    #: GetS answered with an Exclusive grant
+    granted_exclusive: bool = False
+    #: completion callback, called as on_done(reply_kind, txn)
+    on_done: Optional[object] = None

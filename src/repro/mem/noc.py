@@ -1,0 +1,70 @@
+"""2D mesh network-on-chip latency and traffic model.
+
+The paper's machine (Table 2) is a 2D mesh with 5 cycles/hop and
+256-bit links.  We model message latency as ``hops * hop_cycles`` with
+dimension-ordered (XY) routing distance, plus serialization cycles for
+multi-flit (data) messages, and we account every byte for the Table-4
+traffic columns.  Link contention is not queued (documented
+approximation in DESIGN.md): fence behaviour in the paper is governed by
+latency and occupancy, not NoC saturation, and its own traffic numbers
+show the network far from saturated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.common.params import MachineParams
+from repro.common.stats import MachineStats
+from repro.mem.messages import Msg, message_bytes
+
+
+class MeshNoc:
+    """Latency/traffic model for a square 2D mesh of tiles.
+
+    Tiles 0..N-1 hold one core + one L2/directory bank each; an extra
+    virtual node models the off-chip memory port attached to tile 0
+    (paper: "connected to one network port").
+    """
+
+    #: node id used for the off-chip memory controller
+    MEMORY_NODE = -1
+
+    def __init__(self, params: MachineParams, stats: MachineStats):
+        self.params = params
+        self.stats = stats
+        self.dim = max(1, math.isqrt(max(params.num_cores, params.num_banks) - 1) + 1) \
+            if max(params.num_cores, params.num_banks) > 1 else 1
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """XY coordinates of a tile (memory port sits at tile 0)."""
+        if node == self.MEMORY_NODE:
+            node = 0
+        return node % self.dim, node // self.dim
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan (XY-routed) hop count between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int, kind: Msg) -> int:
+        """Cycles for a message of *kind* from *src* to *dst*."""
+        hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
+        nbytes = message_bytes(kind, self.params.line_bytes)
+        flits = max(1, -(-nbytes // self.params.link_bytes))  # ceil div
+        return hop_lat + (flits - 1)
+
+    def account(self, kind: Msg, retry: bool = False) -> int:
+        """Record the traffic of one message; returns its byte size."""
+        nbytes = message_bytes(kind, self.params.line_bytes)
+        self.stats.network_bytes += nbytes
+        if retry:
+            self.stats.retry_bytes += nbytes
+        return nbytes
+
+    def send_cost(self, src: int, dst: int, kind: Msg, retry: bool = False) -> int:
+        """Account traffic and return the delivery latency in cycles."""
+        self.account(kind, retry=retry)
+        return self.latency(src, dst, kind)

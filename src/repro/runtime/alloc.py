@@ -1,0 +1,99 @@
+"""Bump allocator over the simulated address space.
+
+Workloads allocate their shared data structures here before the run.
+Placement controls the phenomena the paper studies:
+
+* line padding (one word per line) eliminates false sharing;
+* deliberately packing two unrelated words into one line *creates* the
+  false-sharing fence collisions of Fig. 4b;
+* block-local allocation (``alloc_in_block``) co-locates data with its
+  STM lock metadata inside one NUMA interleave block, which controls
+  how often WeeFence can confine its PS/BS to a single directory
+  module (Table 4, Wee sf-conversion columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.addr import AddressMap
+from repro.common.errors import ConfigError
+
+#: keep simulated data away from address 0 for easier debugging
+DEFAULT_BASE = 0x1_0000
+
+
+class Allocator:
+    """Bump allocator with line/block-aware placement helpers."""
+
+    def __init__(self, amap: AddressMap, base: int = DEFAULT_BASE):
+        self.amap = amap
+        self._cursor = base
+
+    # --- basic allocation -------------------------------------------------
+
+    def alloc(self, nwords: int, align_bytes: Optional[int] = None) -> int:
+        """Allocate *nwords* consecutive words; returns the base address."""
+        if nwords < 1:
+            raise ConfigError("allocation must be at least one word")
+        align = align_bytes or self.amap.word_bytes
+        cursor = self._cursor
+        if cursor % align:
+            cursor += align - cursor % align
+        self._cursor = cursor + nwords * self.amap.word_bytes
+        return cursor
+
+    def alloc_line(self, nwords: int = 0) -> int:
+        """Line-aligned allocation padded to whole lines (no one else
+        will ever share these lines)."""
+        nwords = nwords or self.amap.words_per_line
+        base = self.alloc(nwords, align_bytes=self.amap.line_bytes)
+        # pad the tail so the next allocation starts on a fresh line
+        end = base + nwords * self.amap.word_bytes
+        if end % self.amap.line_bytes:
+            self._cursor = end + (self.amap.line_bytes - end % self.amap.line_bytes)
+        return base
+
+    def alloc_words_padded(self, n: int) -> List[int]:
+        """*n* word addresses, each on its own private line."""
+        return [self.alloc_line(1) for _ in range(n)]
+
+    def word(self) -> int:
+        """One word address on a private line."""
+        return self.alloc_line(1)
+
+    # --- placement-aware allocation ------------------------------------------
+
+    def alloc_same_bank(self, near_addr: int, nwords: int) -> int:
+        """Allocate *nwords* (whole fresh lines) homed at the same
+        directory bank as *near_addr*.
+
+        Used to co-locate STM lock metadata with its data so WeeFence
+        can confine PS+BS to a single directory module (Table 4).  The
+        allocation must not cross an interleave-block boundary, or its
+        tail would land on a different bank.
+        """
+        target = self.amap.home_bank(near_addr)
+        block = self.amap.interleave_bytes
+        nbytes = -(-nwords * self.amap.word_bytes // self.amap.line_bytes) \
+            * self.amap.line_bytes
+        if nbytes > block:
+            raise ConfigError(
+                f"cannot keep {nwords} words inside one {block}-byte "
+                "interleave block"
+            )
+        cursor = self._cursor
+        if cursor % self.amap.line_bytes:
+            cursor += self.amap.line_bytes - cursor % self.amap.line_bytes
+        while True:
+            if self.amap.home_bank(cursor) == target and \
+                    cursor // block == (cursor + nbytes - 1) // block:
+                self._cursor = cursor + nbytes
+                return cursor
+            # jump to the next interleave block
+            cursor = (cursor // block + 1) * block
+
+    def words_of(self, base: int, n: int) -> List[int]:
+        """The *n* word addresses of an allocation starting at *base*."""
+        wb = self.amap.word_bytes
+        return [base + i * wb for i in range(n)]

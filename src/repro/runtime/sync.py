@@ -1,0 +1,72 @@
+"""Synchronization primitives for simulated threads.
+
+These are *generator subroutines*: workload code composes them with
+``yield from``.  They operate on simulated shared memory, so their cost
+(CAS round trips, spin traffic) is part of the measured execution.
+"""
+
+from __future__ import annotations
+
+from repro.core import isa as ops
+
+
+def load(addr: int):
+    """Read one word.  ``v = yield from load(a)``."""
+    value = yield ops.Load(addr)
+    return value
+
+
+def store(addr: int, value: int):
+    yield ops.Store(addr, value)
+
+
+class SpinLock:
+    """Test-and-test&set spinlock over one simulated word.
+
+    ``0`` = free, ``holder+1`` = taken.  The CAS (an atomic RMW) drains
+    the write buffer, giving the usual x86 lock-acquire semantics; the
+    release is a plain store (TSO keeps it ordered after the critical
+    section's stores).
+    """
+
+    def __init__(self, alloc):
+        self.addr = alloc.word()
+
+    def acquire(self, tid: int, spin_compute: int = 20):
+        attempts = 0
+        while True:
+            owner = yield ops.Load(self.addr)
+            if owner == 0:
+                old = yield ops.AtomicRMW(self.addr, "cas", (0, tid + 1))
+                if old == 0:
+                    return attempts
+            attempts += 1
+            yield ops.Compute(spin_compute)
+
+    def release(self, tid: int):
+        yield ops.Store(self.addr, 0)
+
+
+class Barrier:
+    """Sense-reversing centralized barrier for ``n`` simulated threads."""
+
+    def __init__(self, alloc, n: int):
+        self.n = n
+        self.count_addr = alloc.word()
+        self.sense_addr = alloc.word()
+
+    def wait(self, local_sense_holder: list):
+        """``yield from barrier.wait(state)`` where *state* is a
+        one-element list holding the thread's current sense."""
+        local_sense = 1 - local_sense_holder[0]
+        local_sense_holder[0] = local_sense
+        arrived = yield ops.AtomicRMW(self.count_addr, "add", 1)
+        if arrived + 1 == self.n:
+            yield ops.Store(self.count_addr, 0)
+            yield ops.Store(self.sense_addr, local_sense)
+        else:
+            while True:
+                sense = yield ops.Load(self.sense_addr)
+                if sense == local_sense:
+                    break
+                yield ops.Compute(40)

@@ -1,0 +1,160 @@
+"""Cilk-THE work-stealing deques (paper §4.1, Fig. 5a).
+
+Each worker owns a deque in simulated shared memory.  The owner pushes
+and takes at the tail; thieves steal at the head.  The THE protocol
+coordinates them with a Dekker-style handshake:
+
+* ``take``:  ``T--``; **fence**; read ``H``; on conflict fall back to
+  the lock.
+* ``steal``: (under the victim's lock) ``H++``; **fence**; read ``T``;
+  undo and fail if the element was gone.
+
+The two fences form the paper's canonical two-fence group.  Because the
+owner executes take() for (almost) every task while stealing is rare
+(<0.5 % of tasks in the paper's runs), the asymmetric recipe is:
+**owner fence = CRITICAL (wf), thief fence = STANDARD (sf)**.
+
+Correctness invariant exercised by the tests: every pushed task is
+executed exactly once — an SCV in this protocol manifests as a task
+executed twice (both owner and thief win the race, paper §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import FenceRole
+from repro.core import isa as ops
+from repro.runtime.sync import SpinLock
+
+#: sentinel returned when no task was obtained
+EMPTY = None
+
+
+class WorkDeque:
+    """One worker's THE deque in simulated memory."""
+
+    def __init__(self, alloc, capacity: int, owner: int):
+        self.owner = owner
+        self.capacity = capacity
+        # head/tail on separate lines: false sharing between them would
+        # put unrelated bounce pressure on the protocol words.
+        self.head_addr = alloc.word()
+        self.tail_addr = alloc.word()
+        self.slots = alloc.alloc_line(capacity)
+        self.lock = SpinLock(alloc)
+        self._word_bytes = alloc.amap.word_bytes
+
+    def slot(self, index: int) -> int:
+        return self.slots + (index % self.capacity) * self._word_bytes
+
+    # --- owner operations ------------------------------------------------
+
+    def push(self, task_id: int):
+        """Owner appends a task at the tail (task ids are 1-based;
+        0 marks an empty slot)."""
+        tail = yield ops.Load(self.tail_addr)
+        yield ops.Store(self.slot(tail), task_id)
+        # TSO orders the slot store before the tail publication.
+        yield ops.Store(self.tail_addr, tail + 1)
+
+    def take(self):
+        """Owner removes a task from the tail (THE fast path + lock
+        fallback).  Returns the task id or EMPTY."""
+        tail = yield ops.Load(self.tail_addr)
+        t = tail - 1
+        yield ops.Store(self.tail_addr, t)
+        yield ops.Fence(FenceRole.CRITICAL)
+        head = yield ops.Load(self.head_addr)
+        if head > t:
+            # deque looked empty or a thief is racing for the last task:
+            # restore and resolve under the lock.
+            yield ops.Store(self.tail_addr, t + 1)
+            yield from self.lock.acquire(self.owner)
+            head = yield ops.Load(self.head_addr)
+            if head > t:
+                yield from self.lock.release(self.owner)
+                return EMPTY
+            yield ops.Store(self.tail_addr, t)
+            task = yield ops.Load(self.slot(t))
+            yield from self.lock.release(self.owner)
+            return task
+        task = yield ops.Load(self.slot(t))
+        return task
+
+    # --- thief operation ----------------------------------------------------
+
+    def steal(self, thief: int):
+        """A thief removes a task from the head.  Returns id or EMPTY."""
+        yield from self.lock.acquire(thief)
+        head = yield ops.Load(self.head_addr)
+        yield ops.Store(self.head_addr, head + 1)
+        yield ops.Fence(FenceRole.STANDARD)
+        tail = yield ops.Load(self.tail_addr)
+        if tail < head + 1:
+            # nothing to steal: undo the head increment
+            yield ops.Store(self.head_addr, head)
+            yield from self.lock.release(thief)
+            return EMPTY
+        task = yield ops.Load(self.slot(head))
+        yield from self.lock.release(thief)
+        return task
+
+
+class WorkStealingRuntime:
+    """A set of THE deques plus the scheduler loop worker threads run."""
+
+    def __init__(self, alloc, num_workers: int, deque_capacity: int = 2048):
+        self.num_workers = num_workers
+        self.deques: List[WorkDeque] = [
+            WorkDeque(alloc, deque_capacity, owner=w) for w in range(num_workers)
+        ]
+        #: per-worker executed-task counters (each on a private line, so
+        #: steady-state increments are cheap owner writes); idle workers
+        #: sum them against the app's known task total to terminate.
+        self.executed_addrs = alloc.alloc_words_padded(num_workers)
+
+    def worker_loop(self, ctx, app, executed: Optional[list] = None):
+        """The scheduler loop: take / execute / push children / steal.
+
+        *app* provides the task graph: ``app.total_tasks`` is the number
+        of tasks the whole run will execute, ``app.roots(worker)`` seeds
+        the worker's deque, and ``app.run_task(task_id)`` is a generator
+        yielding the task's work and returning spawned child ids.
+        *executed*, if given, is a Python-side list collecting executed
+        task ids (test hook for the exactly-once invariant).
+        """
+        me = ctx.tid
+        deque = self.deques[me]
+        my_done = 0
+        for task in app.roots(me):
+            yield from deque.push(task)
+        while True:
+            task = yield from deque.take()
+            if task is EMPTY:
+                victim = self._pick_victim(ctx)
+                task = yield from self.deques[victim].steal(me)
+                if task is not EMPTY:
+                    yield ops.Mark("task_stolen")
+            if task is EMPTY:
+                yield ops.Compute(60)
+                total = 0
+                for w in range(self.num_workers):
+                    total += yield ops.Load(self.executed_addrs[w])
+                if total >= app.total_tasks:
+                    return
+                continue
+            children = yield from app.run_task(task)
+            yield ops.Mark("task_executed")
+            if executed is not None:
+                executed.append(task)
+            my_done += 1
+            yield ops.Store(self.executed_addrs[me], my_done)
+            for child in children:
+                yield from deque.push(child)
+
+    def _pick_victim(self, ctx) -> int:
+        victim = ctx.rng.randrange(self.num_workers)
+        if victim == ctx.tid:
+            victim = (victim + 1) % self.num_workers
+        return victim

@@ -1,0 +1,73 @@
+"""Global no-progress watchdog.
+
+The naive global-state-free weak fence (paper Fig. 3a) deadlocks: every
+core's pre-fence write keeps bouncing off another core's Bypass Set, so
+the event queue never drains (bounce retries are events) yet no thread
+commits another operation.  The watchdog samples total committed ops on
+a period; if a full period passes with live threads and zero progress it
+raises :class:`~repro.common.errors.DeadlockError` naming the blocked
+cores — the observable symptom the W+ design exists to recover from.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DeadlockError
+
+
+class Watchdog:
+    """Periodic progress checker over a machine's cores."""
+
+    def __init__(self, machine, interval: int):
+        self.machine = machine
+        self.interval = interval
+        self._last_progress = -1
+        self._event = None
+
+    def start(self) -> None:
+        self._event = self.machine.queue.schedule(
+            self.interval, self._tick, "watchdog"
+        )
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        machine = self.machine
+        progress = sum(
+            core.ops_committed + core.stores_merged for core in machine.cores
+        )
+        # a finished thread with a stuck write buffer is still blocked
+        # (its stores must merge before the run is architecturally done)
+        live = [
+            core.core_id
+            for core in machine.cores
+            if not (core.finished and core.wb.empty)
+        ]
+        if live and progress == self._last_progress:
+            blocked = self._describe(live)
+            raise DeadlockError(
+                "no thread progressed for "
+                f"{self.interval} cycles; blocked cores: {blocked}",
+                blocked_cores=live,
+            )
+        self._last_progress = progress
+        if live:
+            self._event = machine.queue.schedule(
+                self.interval, self._tick, "watchdog"
+            )
+
+    def _describe(self, live) -> str:
+        parts = []
+        for cid in live:
+            core = self.machine.cores[cid]
+            state = []
+            if core.wb.any_bouncing():
+                state.append("store bouncing")
+            if not core.bs.empty:
+                state.append(f"BS holds {len(core.bs)} line(s)")
+            if core.pending_fences:
+                state.append(f"{len(core.pending_fences)} fence(s) incomplete")
+            parts.append(f"P{cid}[{', '.join(state) or 'idle'}]")
+        return ", ".join(parts)

@@ -1,0 +1,156 @@
+"""The simulated multicore: construction, wiring and the run loop.
+
+:class:`Machine` is the public entry point of the simulator.  Typical
+use::
+
+    from repro import Machine, MachineParams, FenceDesign
+
+    params = MachineParams(num_cores=8).with_design(FenceDesign.WS_PLUS)
+    machine = Machine(params)
+    shared = ...            # allocate simulated memory via machine.alloc
+    machine.spawn(thread_fn, shared=shared)   # one generator per core
+    result = machine.run()
+    print(result.stats.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.addr import AddressMap
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.common.params import FenceDesign, MachineParams
+from repro.common.stats import MachineStats
+from repro.core.cpu import Core
+from repro.core.thread import SimThread, ThreadContext
+from repro.mem.directory import DirectoryBank
+from repro.mem.l1controller import L1Controller
+from repro.mem.memory import MemoryImage
+from repro.mem.noc import MeshNoc
+from repro.runtime.alloc import Allocator
+from repro.sim.deadlock import Watchdog
+from repro.sim.scv import DependenceRecorder
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    stats: MachineStats
+    cycles: int
+    #: all threads ran to completion (False when max_cycles cut in)
+    completed: bool
+    #: dependence events, when ``track_dependences`` was enabled
+    events: Optional[list] = None
+
+
+class Machine:
+    """An N-core TSO multicore with one of the five fence designs."""
+
+    def __init__(self, params: MachineParams, seed: int = 12345):
+        self.params = params
+        self.seed = seed
+        self.queue = EventQueue()
+        self.stats = MachineStats(params.num_cores)
+        self.image = MemoryImage()
+        self.noc = MeshNoc(params, self.stats)
+        self.amap = AddressMap(
+            params.line_bytes,
+            params.word_bytes,
+            params.num_banks,
+            params.bank_interleave_bytes,
+        )
+        self.alloc = Allocator(self.amap)
+        self.recorder: Optional[DependenceRecorder] = None
+        if params.track_dependences:
+            self.recorder = DependenceRecorder(self.image)
+
+        self.banks: List[DirectoryBank] = [
+            DirectoryBank(b, params, self.stats, self.noc, self.queue)
+            for b in range(params.num_banks)
+        ]
+        fine_grain = params.fence_design is FenceDesign.SW_PLUS
+        self.l1s: List[L1Controller] = [
+            L1Controller(
+                c, params, self.stats, self.noc, self.image, self.queue,
+                fine_grain_bs=fine_grain,
+            )
+            for c in range(params.num_cores)
+        ]
+        self.cores: List[Core] = [
+            Core(c, params, self.stats, self.queue, self.l1s[c], self.image, self)
+            for c in range(params.num_cores)
+        ]
+        for bank in self.banks:
+            bank.controllers = self.l1s
+        for l1 in self.l1s:
+            l1.banks = self.banks
+            l1.recorder = self.recorder
+        self._spawned = 0
+        self._watchdog = Watchdog(self, params.watchdog_interval)
+
+    # ------------------------------------------------------------------
+    # workload setup
+    # ------------------------------------------------------------------
+
+    def spawn(self, fn: Callable, shared=None, core: Optional[int] = None) -> Core:
+        """Bind generator function *fn* as the thread of the next core."""
+        cid = self._spawned if core is None else core
+        if cid >= self.params.num_cores:
+            raise ConfigError(
+                f"cannot spawn thread {cid}: machine has "
+                f"{self.params.num_cores} cores"
+            )
+        ctx = ThreadContext(
+            tid=cid,
+            num_threads=self.params.num_cores,
+            seed=self.seed * 1_000_003 + cid,
+            shared=shared,
+        )
+        self.cores[cid].bind(SimThread(fn, ctx))
+        self._spawned = max(self._spawned, cid + 1)
+        return self.cores[cid]
+
+    def spawn_all(self, fn: Callable, shared=None) -> None:
+        """Run *fn* on every core."""
+        for cid in range(self.params.num_cores):
+            self.spawn(fn, shared=shared, core=cid)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _all_done(self) -> bool:
+        return all(
+            (core.thread is None or core.finished) and core.wb.empty
+            for core in self.cores
+        )
+
+    def thread_finished(self, core: Core) -> None:
+        """Callback from a core whose thread ran out of operations."""
+        core._kick_drain()  # flush any leftover buffered stores
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Run to completion (or *max_cycles* / params.max_cycles)."""
+        limit = max_cycles or self.params.max_cycles or None
+        for core in self.cores:
+            core.start()
+        self._watchdog.start()
+        self.queue.run(until=limit, stop_when=self._all_done)
+        self._watchdog.stop()
+        completed = self._all_done()
+        if completed:
+            # drain in-flight protocol events (writebacks, GRT
+            # withdrawals, late replies) so post-run state inspection
+            # sees a quiesced machine; bounded in case of stray timers.
+            self.queue.run(until=self.queue.now + 10_000)
+        self.stats.cycles = self.queue.now
+        events = self.recorder.events if self.recorder else None
+        return SimResult(
+            stats=self.stats,
+            cycles=self.queue.now,
+            completed=completed,
+            events=events,
+        )

@@ -1,0 +1,161 @@
+"""Sequential-consistency violation detection (Shasha–Snir style).
+
+The paper defines an SCV as a cycle of inter-thread dependences among
+overlapping data races (Fig. 1, after [29] Shasha & Snir).  We detect
+them axiomatically: record every globally-performed access, build the
+union of
+
+* **po** — program order within each thread (from the op index each
+  access carried when it touched the memory image),
+* **rf** — read-from (each load records the write tag it returned),
+* **co** — coherence order (per-word write serialization), and
+* **fr** — from-read (a load reads-before every co-later write),
+
+and look for a cycle.  An execution is sequentially consistent iff the
+union is acyclic.  With fences placed per the paper's recipes the
+workloads must stay acyclic; remove the fences and the classic
+store-buffering cycle appears (the litmus tests assert both).
+
+Limitations (documented): loads satisfied by the core's own write
+buffer bypass the image and are not recorded — the litmus kernels avoid
+same-address store→load sequences, and forwarded reads can only
+*strengthen* po locality, never create a new inter-thread edge.
+Enable recording only for small runs (``track_dependences=True``); the
+graph is O(accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.common.errors import SCViolationError
+from repro.mem.memory import INIT_TAG, MemoryImage, WriteTag
+
+
+@dataclass
+class AccessEvent:
+    """One globally-performed access."""
+
+    index: int
+    kind: str  # "load" | "store"
+    core: int
+    word: int
+    value: int
+    #: for loads: the tag of the write read; for stores: their own tag
+    tag: WriteTag
+    po: int
+
+
+class DependenceRecorder:
+    """Installs itself as the memory image's observer and logs accesses."""
+
+    def __init__(self, image: MemoryImage):
+        self.image = image
+        self.events: List[AccessEvent] = []
+        self._pending_po: Dict[int, int] = {}
+        image.observer = self._observe
+
+    def note_po(self, core: int, po: int) -> None:
+        """Called by the core/L1 immediately before an image access."""
+        self._pending_po[core] = po
+
+    def _observe(
+        self, kind: str, core: int, word: int, value: int, tag: WriteTag
+    ) -> None:
+        if core < 0:
+            return  # initialization / debug pokes
+        po = self._pending_po.pop(core, -1)
+        self.events.append(
+            AccessEvent(len(self.events), kind, core, word, value, tag, po)
+        )
+
+    def squash(self, core: int, po_limit: int) -> int:
+        """Discard *core*'s recorded loads past *po_limit*.
+
+        Called on a W+ rollback: post-checkpoint loads were performed
+        but architecturally squashed, so they must not count as
+        dependence-graph events (their re-executions will be recorded
+        again).  Post-checkpoint stores never merged, hence never
+        recorded.  Returns the number of events dropped.
+        """
+        before = len(self.events)
+        self.events = [
+            ev for ev in self.events
+            if not (ev.core == core and ev.po > po_limit)
+        ]
+        for i, ev in enumerate(self.events):
+            ev.index = i
+        return before - len(self.events)
+
+    def detach(self) -> None:
+        self.image.observer = None
+
+
+def build_dependence_graph(events: List[AccessEvent]) -> nx.DiGraph:
+    """po ∪ rf ∪ co ∪ fr over the recorded accesses."""
+    g = nx.DiGraph()
+    for ev in events:
+        g.add_node(ev.index)
+
+    # po: per core, ordered by (po index, record order)
+    by_core: Dict[int, List[AccessEvent]] = {}
+    for ev in events:
+        by_core.setdefault(ev.core, []).append(ev)
+    for core_events in by_core.values():
+        ordered = sorted(core_events, key=lambda e: (e.po, e.index))
+        for a, b in zip(ordered, ordered[1:]):
+            g.add_edge(a.index, b.index, kind="po")
+
+    # co: per word, stores in tag-serial order
+    stores_by_word: Dict[int, List[AccessEvent]] = {}
+    store_by_tag: Dict[WriteTag, AccessEvent] = {}
+    for ev in events:
+        if ev.kind == "store":
+            stores_by_word.setdefault(ev.word, []).append(ev)
+            store_by_tag[ev.tag] = ev
+    co_next: Dict[WriteTag, AccessEvent] = {}
+    for stores in stores_by_word.values():
+        stores.sort(key=lambda e: e.tag[1])
+        for a, b in zip(stores, stores[1:]):
+            g.add_edge(a.index, b.index, kind="co")
+            co_next[a.tag] = b
+
+    # rf and fr
+    for ev in events:
+        if ev.kind != "load":
+            continue
+        writer = store_by_tag.get(ev.tag)
+        if writer is not None and writer.core != ev.core:
+            g.add_edge(writer.index, ev.index, kind="rf")
+        # fr: the load happens before the co-successor of what it read
+        if ev.tag == INIT_TAG:
+            stores = stores_by_word.get(ev.word, ())
+            if stores:
+                g.add_edge(ev.index, stores[0].index, kind="fr")
+        else:
+            succ = co_next.get(ev.tag)
+            if succ is not None and succ.core != ev.core:
+                g.add_edge(ev.index, succ.index, kind="fr")
+    return g
+
+
+def find_scv(events: List[AccessEvent]) -> Optional[List[Tuple[int, int]]]:
+    """Return a dependence cycle (list of edges) or None if SC holds."""
+    g = build_dependence_graph(events)
+    try:
+        cycle = nx.find_cycle(g, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [(u, v) for u, v, _ in cycle]
+
+
+def assert_sequentially_consistent(events: List[AccessEvent]) -> None:
+    """Raise :class:`SCViolationError` if the execution is not SC."""
+    cycle = find_scv(events)
+    if cycle is not None:
+        raise SCViolationError(
+            f"dependence cycle of length {len(cycle)} found", cycle=cycle
+        )

@@ -1,0 +1,141 @@
+"""Transactions over the TLRW locks: eager locking, eager versioning.
+
+A transaction body is a generator taking a :class:`Txn` handle and
+using ``yield from txn.read(addr)`` / ``yield from txn.write(addr, v)``.
+Reads acquire the read lock (once), writes acquire the write lock,
+record an undo entry and update the data **in place**.  Commit drains
+the data stores behind a fence, then releases all locks; abort restores
+the undo log, releases, backs off and the runner retries.
+
+``run_transactions`` is the per-thread driver used by the ustm and
+STAMP workloads; it wraps every attempt in the Mark bookkeeping that
+feeds Figures 9/10 (throughput and per-transaction cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.params import FenceRole
+from repro.core import isa as ops
+from repro.stm.tlrw import TlrwStm, TxnAbort
+
+
+class Txn:
+    """One transaction attempt's state (read/write sets, undo log)."""
+
+    def __init__(self, stm: TlrwStm, tid: int):
+        self.stm = stm
+        self.tid = tid
+        self.read_set: List[int] = []
+        self.write_set: List[int] = []
+        self.undo_log: List[Tuple[int, int]] = []
+        self._read_held: Dict[int, bool] = {}
+        self._write_held: Dict[int, bool] = {}
+
+    # --- transactional accesses ----------------------------------------
+
+    def read(self, word: int):
+        """Transactional load: acquire the read lock once, then load."""
+        if word not in self._write_held and word not in self._read_held:
+            yield from self.stm.read_acquire(word, self.tid)
+            self._read_held[word] = True
+            self.read_set.append(word)
+        value = yield ops.Load(word)
+        return value
+
+    def write(self, word: int, value: int):
+        """Transactional store: write lock + undo entry + in-place update."""
+        yield from self._acquire_for_write(word)
+        yield ops.Store(word, value)
+
+    def read_for_write(self, word: int):
+        """Load a word under the *write* lock (RSTM's read-for-write).
+
+        Avoids the reader-flag round trip for words the transaction is
+        about to update — the idiom for read-modify-write hot words.
+        """
+        yield from self._acquire_for_write(word)
+        value = yield ops.Load(word)
+        return value
+
+    def _acquire_for_write(self, word: int):
+        if word not in self._write_held:
+            yield from self.stm.write_acquire(word, self.tid)
+            self._write_held[word] = True
+            self.write_set.append(word)
+            old = yield ops.Load(word)
+            self.undo_log.append((word, old))
+
+    # --- outcome paths -----------------------------------------------------
+
+    def commit(self):
+        """Publish: fence the in-place data stores, release all locks.
+
+        The commit fence is the write-heavy sf of the paper's STM
+        discussion — it drains every pending data store before any
+        release store can be observed.
+        """
+        if self._write_held:
+            yield ops.Fence(FenceRole.STANDARD)
+            for word in self.write_set:
+                yield from self.stm.write_release(word, self.tid)
+        for word in self.read_set:
+            # clear the reader flag even for words later upgraded to
+            # writes — a leaked flag would block writers forever.
+            yield from self.stm.read_release(word, self.tid)
+
+    def abort(self):
+        """Undo in-place updates, then release everything."""
+        for word, old in reversed(self.undo_log):
+            yield ops.Store(word, old)
+        if self.undo_log:
+            yield ops.Fence(FenceRole.STANDARD)
+        for word in self.write_set:
+            yield from self.stm.write_release(word, self.tid)
+        for word in self.read_set:
+            yield from self.stm.read_release(word, self.tid)
+
+
+def run_transactions(
+    ctx,
+    stm: TlrwStm,
+    make_body: Callable,
+    count: int,
+    think_instructions: int = 80,
+    max_attempts: int = 1_000_000,
+):
+    """Per-thread driver: run *count* transactions, retrying aborts.
+
+    ``make_body(ctx, attempt_index)`` returns a generator function of
+    one argument (the :class:`Txn`).  Backoff is randomized exponential
+    (RSTM's default contention manager family): deterministic
+    synchronized retries would otherwise livelock under contention.
+    """
+    tid = ctx.tid
+    # desynchronize thread start so first transactions do not collide
+    yield ops.Compute(ctx.rng.randrange(20, 260))
+    for i in range(count):
+        body = make_body(ctx, i)
+        attempt = 0
+        while True:
+            txn = Txn(stm, tid)
+            yield ops.Mark("txn_cycles_begin")
+            try:
+                result = yield from body(txn)
+            except TxnAbort:
+                yield from txn.abort()
+                yield ops.Mark("txn_cycles_end")
+                yield ops.Mark("txn_abort")
+                attempt += 1
+                if attempt >= max_attempts:
+                    break  # give up on this transaction (counted aborted)
+                base = 30 * (1 << min(attempt, 6))
+                yield ops.Compute(ctx.rng.randrange(base // 2, base + 1))
+                continue
+            yield from txn.commit()
+            yield ops.Mark("txn_cycles_end")
+            yield ops.Mark("txn_commit")
+            break
+        if think_instructions:
+            yield ops.Compute(think_instructions)

@@ -1,0 +1,170 @@
+"""The CilkApps workload group (paper Table 3, evaluated in Fig. 8).
+
+Each application is modeled as a divide-and-conquer task graph executed
+by the THE work-stealing runtime (:mod:`repro.runtime.workstealing`).
+The fences under study are the two THE fences; the task bodies are
+compute blocks plus data-array touches.  Per-app parameters (branching,
+depth, task grain, data footprint) are chosen so the S+ fence-stall
+fraction spans the paper's range — fine-grained apps like fib spend
+20-30 % of their time in fence stall, coarse-grained ones a few percent,
+averaging near the paper's 13 % (see EXPERIMENTS.md for measured
+values).
+
+The substitution rationale (DESIGN.md): the quantities Fig. 8 plots are
+scheduler-fence effects, which depend on task grain and steal rate, not
+on what the task bodies compute.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core import isa as ops
+from repro.runtime.workstealing import WorkStealingRuntime
+from repro.sim.machine import Machine
+from repro.workloads.base import Workload, register
+
+
+def _mix(n: int) -> int:
+    """Cheap deterministic hash for per-task irregularity."""
+    n = (n ^ (n >> 16)) * 0x45D9F3B
+    n = (n ^ (n >> 16)) * 0x45D9F3B
+    return (n ^ (n >> 16)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class TaskGraphSpec:
+    """Shape of one CilkApp's task graph."""
+
+    name: str
+    branching: int
+    depth: int
+    #: leaf-task compute (instructions), modulated ±50 % per task
+    leaf_work: int
+    #: compute spent by interior (spawning) tasks
+    spawn_work: int
+    #: shared-array words a leaf touches (cache/memory pressure)
+    touches: int = 0
+    #: fraction of touched words that are written
+    write_frac: float = 0.25
+    #: shared data-array size in words
+    array_words: int = 1024
+
+
+class TaskGraphApp:
+    """A concrete (scaled) task graph bound to simulated memory."""
+
+    def __init__(self, spec: TaskGraphSpec, machine: Machine, scale: float):
+        self.spec = spec
+        b = spec.branching
+        depth = spec.depth
+        if scale != 1.0 and scale > 0:
+            depth = max(1, depth + int(round(math.log(scale, b))))
+        self.depth = depth
+        # heap-numbered complete b-ary tree: nodes 1..total
+        self.subtree_total = (b ** (depth + 1) - 1) // (b - 1) if b > 1 else depth + 1
+        self.total_tasks = self.subtree_total
+        self.array = machine.alloc.alloc_line(spec.array_words)
+        self.word_bytes = machine.alloc.amap.word_bytes
+
+    def roots(self, worker: int) -> List[int]:
+        return [1] if worker == 0 else []
+
+    def _children(self, node: int) -> List[int]:
+        b = self.spec.branching
+        first = (node - 1) * b + 2
+        if first > self.subtree_total:
+            return []
+        return [first + i for i in range(b)]
+
+    def run_task(self, task_id: int):
+        spec = self.spec
+        children = self._children(task_id)
+        work = spec.spawn_work if children else spec.leaf_work
+        # per-task irregularity: 50 % .. 150 % of nominal
+        work = max(4, (work * (50 + _mix(task_id) % 101)) // 100)
+        yield ops.Compute(work)
+        if not children and spec.touches:
+            # Each leaf works on a mostly-private slice of the shared
+            # array (blocked data access, as the real divide-and-conquer
+            # kernels do); slices of different tasks overlap only when
+            # the hash collides, giving occasional true/false sharing
+            # rather than a single all-to-all hot array.
+            h = _mix(task_id * 31 + 7)
+            start = h % max(1, spec.array_words - spec.touches)
+            writes = int(spec.touches * spec.write_frac)
+            for i in range(spec.touches):
+                addr = self.array + (start + i) * self.word_bytes
+                if i < writes:
+                    yield ops.Store(addr, task_id & 0xFFFF)
+                else:
+                    yield ops.Load(addr)
+        return children
+
+
+#: The ten applications (paper Table 3).  Grain/footprint profiles:
+#: fib/knapsack are fine-grained recursion (high fence overhead),
+#: matmul/heat/lu are blocked numeric kernels (coarse tasks, big
+#: footprints), the rest sit in between.
+CILK_SPECS = (
+    TaskGraphSpec("bucket", branching=4, depth=5, leaf_work=260,
+                  spawn_work=50, touches=8, array_words=2048),
+    TaskGraphSpec("cholesky", branching=3, depth=6, leaf_work=420,
+                  spawn_work=70, touches=10, array_words=2048),
+    TaskGraphSpec("cilksort", branching=2, depth=9, leaf_work=300,
+                  spawn_work=60, touches=6, array_words=4096),
+    TaskGraphSpec("fft", branching=4, depth=5, leaf_work=380,
+                  spawn_work=70, touches=8, array_words=4096),
+    TaskGraphSpec("fib", branching=2, depth=10, leaf_work=120,
+                  spawn_work=24, touches=0),
+    TaskGraphSpec("heat", branching=8, depth=3, leaf_work=700,
+                  spawn_work=90, touches=16, array_words=4096),
+    TaskGraphSpec("knapsack", branching=2, depth=10, leaf_work=190,
+                  spawn_work=36, touches=2, array_words=1024),
+    TaskGraphSpec("lu", branching=4, depth=5, leaf_work=500,
+                  spawn_work=80, touches=12, array_words=4096),
+    TaskGraphSpec("matmul", branching=8, depth=3, leaf_work=900,
+                  spawn_work=100, touches=20, array_words=4096),
+    TaskGraphSpec("plu", branching=4, depth=5, leaf_work=440,
+                  spawn_work=70, touches=10, array_words=2048),
+)
+
+
+class CilkWorkload(Workload):
+    """Work-stealing workload wrapper: one worker thread per core."""
+
+    group = "cilk"
+    spec: TaskGraphSpec = None  # set by the factory below
+
+    def setup(self, machine: Machine) -> None:
+        self.app = TaskGraphApp(self.spec, machine, self.scale)
+        self.runtime = WorkStealingRuntime(
+            machine.alloc, machine.params.num_cores
+        )
+
+        def worker(ctx):
+            yield from self.runtime.worker_loop(ctx, self.app)
+
+        machine.spawn_all(worker)
+
+    def check(self, machine: Machine) -> None:
+        executed = machine.stats.tasks_executed
+        expected = self.app.total_tasks
+        assert executed == expected, (
+            f"{self.name}: {executed} tasks executed, expected {expected} "
+            "(a mismatch means a lost or duplicated task — an SCV symptom)"
+        )
+
+
+def _make_cilk_class(spec: TaskGraphSpec):
+    cls = type(
+        f"Cilk_{spec.name}",
+        (CilkWorkload,),
+        {"name": spec.name, "spec": spec, "__doc__": CilkWorkload.__doc__},
+    )
+    return register(cls)
+
+
+CILK_WORKLOADS = tuple(_make_cilk_class(spec) for spec in CILK_SPECS)

@@ -1,0 +1,12 @@
+"""Root conftest: re-exports the shared fixtures from tests.support."""
+
+import pytest
+
+from tests.support import tiny_params
+
+
+@pytest.fixture
+def machine():
+    """A 2-core S+ machine with exact interleaving."""
+    from repro.sim.machine import Machine
+    return Machine(tiny_params(), seed=99)

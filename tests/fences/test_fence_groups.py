@@ -1,0 +1,116 @@
+"""Dynamic fence-group scenarios beyond the basic litmus kernels:
+repeated groups, mixed designs across phases, group-size scaling."""
+
+import pytest
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+from repro.sim.scv import find_scv
+
+from tests.support import notes_of, run_threads, tiny_params
+
+
+def _dekker_round(me, mine, other, pad, role):
+    yield ops.Store(pad, 7)
+    yield ops.Store(mine, 1)
+    yield ops.Fence(role)
+    value = yield ops.Load(other)
+    yield ops.Store(mine, 0)     # reset for the next round
+    return value
+
+
+@pytest.mark.parametrize("design", [FenceDesign.WS_PLUS,
+                                    FenceDesign.W_PLUS,
+                                    FenceDesign.WEE])
+def test_repeated_fence_groups_stay_sc(design):
+    """Ten consecutive Dekker rounds: groups form repeatedly; the BS
+    and (for Wee) GRT state must recycle cleanly between rounds."""
+    m = Machine(tiny_params(design, track_dependences=True), seed=6)
+    x, y = m.alloc.word(), m.alloc.word()
+    pads = [m.alloc.alloc_words_padded(10) for _ in range(2)]
+
+    def thread(me, mine, other, role):
+        def fn(ctx):
+            yield ops.Load(x)
+            yield ops.Load(y)
+            yield ops.Compute(1500)
+            results = []
+            for r in range(10):
+                v = yield from _dekker_round(me, mine, other,
+                                             pads[me][r], role)
+                results.append(v)
+                yield ops.Compute(120)
+            yield ops.Note(("rs", tuple(results)))
+        return fn
+
+    m.spawn(thread(0, x, y, FenceRole.CRITICAL))
+    m.spawn(thread(1, y, x, FenceRole.STANDARD))
+    res = m.run(max_cycles=3_000_000)
+    assert res.completed
+    assert find_scv(res.events) is None
+    # state fully recycled
+    for core in m.cores:
+        assert not core.pending_fences
+        assert len(core.bs) == 0
+
+
+@pytest.mark.parametrize("n_threads", [4, 6])
+def test_wide_fence_group_under_wplus(n_threads):
+    """An n-thread potential cycle (Fig. 1e generalized): W+ must
+    resolve it for any group size (one of the wf advantages over l-mf
+    the paper lists in §8)."""
+    m = Machine(tiny_params(FenceDesign.W_PLUS, num_cores=n_threads,
+                            track_dependences=True), seed=6)
+    vars_ = [m.alloc.word() for _ in range(n_threads)]
+    pads = [m.alloc.word() for _ in range(n_threads)]
+
+    def thread(me):
+        def fn(ctx):
+            for v in vars_:
+                yield ops.Load(v)
+            yield ops.Compute(1500)
+            yield ops.Store(pads[me], 7)
+            yield ops.Store(vars_[me], 1)
+            yield ops.Fence(FenceRole.CRITICAL)
+            nxt = yield ops.Load(vars_[(me + 1) % n_threads])
+            yield ops.Note(("r", nxt))
+        return fn
+
+    for me in range(n_threads):
+        m.spawn(thread(me))
+    res = m.run(max_cycles=3_000_000)
+    assert res.completed
+    values = [notes_of(m, t)[0][1] for t in range(n_threads)]
+    assert values != [0] * n_threads, "full cycle = SCV"
+    assert find_scv(res.events) is None
+
+
+def test_ws_plus_one_wf_many_sfs():
+    """Fig. 1f with WS+'s contract: exactly one critical thread among
+    four — always safe, whatever the collision pattern."""
+    m = Machine(tiny_params(FenceDesign.WS_PLUS, num_cores=4,
+                            track_dependences=True), seed=6)
+    vars_ = [m.alloc.word() for _ in range(4)]
+    pads = [m.alloc.word() for _ in range(4)]
+
+    def thread(me, role):
+        def fn(ctx):
+            for v in vars_:
+                yield ops.Load(v)
+            yield ops.Compute(1500)
+            yield ops.Store(pads[me], 7)
+            yield ops.Store(vars_[me], 1)
+            yield ops.Fence(role)
+            nxt = yield ops.Load(vars_[(me + 1) % 4])
+            yield ops.Note(("r", nxt))
+        return fn
+
+    m.spawn(thread(0, FenceRole.CRITICAL))
+    for me in range(1, 4):
+        m.spawn(thread(me, FenceRole.STANDARD))
+    res = m.run(max_cycles=3_000_000)
+    assert res.completed
+    values = [notes_of(m, t)[0][1] for t in range(4)]
+    assert values != [0] * 4
+    assert find_scv(res.events) is None

@@ -1,0 +1,97 @@
+"""Fence-flavour timing semantics at the core level."""
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+
+from tests.support import run_threads, tiny_params
+
+
+def _fence_after_cold_store(design, role=FenceRole.CRITICAL):
+    m = Machine(tiny_params(design, num_cores=1))
+    x, y = m.alloc.word(), m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(x, 1)   # cold: ~memory round trip to merge
+        yield ops.Fence(role)
+        yield ops.Load(y)
+
+    run_threads(m, t)
+    return m
+
+
+def test_sf_stalls_for_drain():
+    m = _fence_after_cold_store(FenceDesign.S_PLUS)
+    # the fence waited out the cold store (~200+ cycles)
+    assert m.stats.total_breakdown()["fence_stall"] >= \
+        m.params.memory_cycles * 0.8
+    assert m.stats.total_sf == 1 and m.stats.total_wf == 0
+
+
+def test_wf_does_not_stall():
+    m = _fence_after_cold_store(FenceDesign.W_PLUS)
+    assert m.stats.total_breakdown()["fence_stall"] <= \
+        m.params.sf_base_cycles
+    assert m.stats.total_wf == 1 and m.stats.total_sf == 0
+
+
+def test_ws_plus_standard_role_is_strong():
+    m = _fence_after_cold_store(FenceDesign.WS_PLUS,
+                                role=FenceRole.STANDARD)
+    assert m.stats.total_sf == 1
+    assert m.stats.total_breakdown()["fence_stall"] >= \
+        m.params.memory_cycles * 0.8
+
+
+def test_ws_plus_critical_role_is_weak():
+    m = _fence_after_cold_store(FenceDesign.WS_PLUS,
+                                role=FenceRole.CRITICAL)
+    assert m.stats.total_wf == 1
+
+
+def test_wf_with_empty_write_buffer_completes_at_retire():
+    m = Machine(tiny_params(FenceDesign.W_PLUS, num_cores=1))
+    y = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Compute(40)
+        yield ops.Fence(FenceRole.CRITICAL)  # nothing pending
+        yield ops.Load(y)
+
+    run_threads(m, t)
+    assert m.stats.total_wf == 1
+    assert m.stats.total_breakdown()["fence_stall"] == 0
+    assert m.stats.bs_insertions == 0  # fence complete before the load
+
+
+def test_post_wf_loads_enter_bs_while_pending():
+    m = Machine(tiny_params(FenceDesign.W_PLUS, num_cores=1))
+    x = m.alloc.word()
+    warm = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Load(warm)
+        yield ops.Compute(400)
+        yield ops.Store(x, 1)                 # cold store: fence pends
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(warm)                  # completes early -> BS
+        yield ops.Load(warm)
+
+    run_threads(m, t)
+    assert m.stats.bs_insertions >= 1
+
+
+def test_rmw_drains_like_a_fence():
+    m = Machine(tiny_params(FenceDesign.W_PLUS, num_cores=1))
+    x, y = m.alloc.word(), m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(x, 1)                  # cold
+        old = yield ops.AtomicRMW(y, "add", 1)
+        yield ops.Note(("old", old))
+
+    run_threads(m, t)
+    # the RMW waited for the cold store to merge first
+    assert m.image.peek(x) == 1 and m.image.peek(y) == 1
+    total = m.stats.total_breakdown()
+    assert total["other_stall"] >= m.params.memory_cycles * 0.8

@@ -1,0 +1,135 @@
+"""TSO ordering guarantees the designs must never weaken.
+
+The paper's wfs relax only the fence's own ordering duty; TSO's
+baseline rules — load→load, store→store, coherence per location —
+must hold under every design, fences or not.
+"""
+
+import pytest
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+
+from tests.support import notes_of, run_threads, tiny_params
+
+ALL = tuple(FenceDesign)
+
+
+@pytest.mark.parametrize("design", ALL)
+def test_store_store_order(design):
+    """TSO: stores become visible in program order (no fence needed):
+    seeing the second store implies the first is visible."""
+    m = Machine(tiny_params(design), seed=4)
+    a, b = m.alloc.word(), m.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(a, 1)
+        yield ops.Store(b, 1)
+
+    def reader(ctx):
+        while True:
+            vb = yield ops.Load(b)
+            if vb:
+                break
+            yield ops.Compute(15)
+        va = yield ops.Load(a)
+        yield ops.Note(("va", va))
+
+    run_threads(m, writer, reader)
+    assert notes_of(m, 1) == [("va", 1)]
+
+
+@pytest.mark.parametrize("design", ALL)
+def test_load_load_order(design):
+    """TSO: loads perform in order — a reader can never see the flag
+    before the data it was published after."""
+    m = Machine(tiny_params(design), seed=4)
+    data, flag = m.alloc.word(), m.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(data, 7)
+        yield ops.Store(flag, 1)
+
+    def reader(ctx):
+        while True:
+            f = yield ops.Load(flag)
+            if f:
+                break
+            yield ops.Compute(15)
+        d = yield ops.Load(data)
+        yield ops.Note(("d", d))
+
+    run_threads(m, writer, reader)
+    assert notes_of(m, 1) == [("d", 7)]
+
+
+@pytest.mark.parametrize("design", ALL)
+def test_coherence_per_location_corr(design):
+    """coRR: two reads of one location never observe values moving
+    backwards in coherence order."""
+    m = Machine(tiny_params(design), seed=4)
+    x = m.alloc.word()
+
+    def writer(ctx):
+        for i in range(1, 12):
+            yield ops.Store(x, i)
+            yield ops.Compute(35)
+
+    def reader(ctx):
+        values = []
+        for _ in range(30):
+            v = yield ops.Load(x)
+            values.append(v)
+            yield ops.Compute(25)
+        yield ops.Note(("vals", tuple(values)))
+
+    run_threads(m, writer, reader)
+    (_label, values), = notes_of(m, 1)
+    assert list(values) == sorted(values), "coherence order violated"
+
+
+@pytest.mark.parametrize("design", ALL)
+def test_own_stores_read_in_order(design):
+    """A thread always sees its own latest store (forwarding + merge)."""
+    m = Machine(tiny_params(design, num_cores=1), seed=4)
+    x = m.alloc.word()
+
+    def t(ctx):
+        seen = []
+        for i in range(1, 8):
+            yield ops.Store(x, i)
+            v = yield ops.Load(x)
+            seen.append(v)
+            if i == 4:
+                yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Note(("seen", tuple(seen)))
+
+    run_threads(m, t)
+    (_l, seen), = notes_of(m, 0)
+    assert list(seen) == list(range(1, 8))
+
+
+@pytest.mark.parametrize("design", [FenceDesign.W_PLUS, FenceDesign.WEE])
+def test_back_to_back_fences(design):
+    """Several wfs in flight at one core complete in order and clear
+    their BS tags correctly."""
+    m = Machine(tiny_params(design, num_cores=1), seed=4)
+    words = [m.alloc.word() for _ in range(4)]
+    probe = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Load(probe)
+        yield ops.Compute(600)
+        for w in words:
+            yield ops.Store(w, 1)            # cold stores back up the WB
+            yield ops.Fence(FenceRole.CRITICAL)
+            yield ops.Load(probe)            # one BS entry per fence
+        yield ops.Compute(50)
+
+    res = run_threads(m, t)
+    assert res.completed
+    assert m.stats.total_wf == 4
+    # every fence completed and the BS fully drained
+    assert len(m.cores[0].bs) == 0
+    assert not m.cores[0].pending_fences

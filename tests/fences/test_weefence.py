@@ -1,0 +1,126 @@
+"""WeeFence baseline: GRT deposits, RemotePS stalls, confinement."""
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+from repro.sim.scv import find_scv
+
+from tests.support import notes_of, run_threads, tiny_params
+
+
+def test_multi_bank_pending_set_demotes_to_sf():
+    """A wf whose pending stores span directory modules executes as a
+    conventional fence (the paper's confinement rule)."""
+    m = Machine(tiny_params(FenceDesign.WEE, num_cores=2))
+    block = m.params.bank_interleave_bytes
+    a = m.alloc.alloc(1, align_bytes=block)          # bank 0
+    b = m.alloc.alloc(1, align_bytes=block)          # next block: bank 1
+    assert m.amap.home_bank(a) != m.amap.home_bank(b)
+    y = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(a, 1)
+        yield ops.Store(b, 2)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(y)
+
+    run_threads(m, t)
+    assert sum(m.stats.wee_sf_conversions) >= 1
+    assert m.stats.total_sf >= 1
+
+
+def test_single_bank_pending_set_stays_weak():
+    m = Machine(tiny_params(FenceDesign.WEE, num_cores=2))
+    block = m.params.bank_interleave_bytes
+    a = m.alloc.alloc(1, align_bytes=block)
+    a2 = a + m.params.line_bytes  # same block, same bank
+    y = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(a, 1)
+        yield ops.Store(a2, 2)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(y)
+
+    run_threads(m, t)
+    assert m.stats.total_wf >= 1
+    assert sum(m.stats.wee_sf_conversions) == 0
+
+
+def test_cross_bank_post_fence_load_converts_dynamically():
+    """A post-fence load homed at a different module than the deposit
+    stalls until the fence completes and the fence is re-counted sf."""
+    m = Machine(tiny_params(FenceDesign.WEE, num_cores=2))
+    block = m.params.bank_interleave_bytes
+    a = m.alloc.alloc(1, align_bytes=block)              # bank 0
+    far = m.alloc.alloc(1, align_bytes=block)            # bank 1
+    assert m.amap.home_bank(a) != m.amap.home_bank(far)
+    pad = a + m.params.line_bytes                        # bank 0, cold
+
+    def t(ctx):
+        yield ops.Load(far)      # warm so the load would complete early
+        yield ops.Compute(600)
+        yield ops.Store(pad, 7)  # cold store keeps the fence pending
+        yield ops.Store(a, 1)
+        yield ops.Fence(FenceRole.CRITICAL)
+        v = yield ops.Load(far)  # cross-bank: must stall + convert
+        yield ops.Note(("r", v))
+
+    run_threads(m, t)
+    assert sum(m.stats.wee_sf_conversions) >= 1
+
+
+def test_grt_per_fence_keying_survives_back_to_back_fences():
+    """Two pending fences at one core deposit separately; completing
+    the first must not withdraw the second's protection (regression
+    for the deadlock this once caused in the CilkApps)."""
+    m = Machine(tiny_params(FenceDesign.WEE, num_cores=2))
+    block = m.params.bank_interleave_bytes
+    base = m.alloc.alloc(1, align_bytes=block)
+    lines = [base + i * m.params.line_bytes for i in range(4)]
+    y = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(lines[0], 1)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Store(lines[1], 2)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(lines[2])
+        yield ops.Load(lines[3])
+
+    run_threads(m, t)
+    bank = m.banks[m.amap.home_bank(base)]
+    assert not bank.grt, "all deposits withdrawn at completion"
+
+
+def test_remote_ps_prevents_wf_only_scv_and_deadlock():
+    """The GRT protection: two colliding Wee fences on one module
+    neither violate SC nor deadlock (paper §2.2/Fig. 2)."""
+    m = Machine(tiny_params(FenceDesign.WEE, num_cores=2,
+                            track_dependences=True))
+    block = m.params.bank_interleave_bytes
+    base = m.alloc.alloc(1, align_bytes=block)
+    # x and y in the same interleave block: one directory module
+    x = base
+    y = base + m.params.line_bytes
+    pads = [base + 2 * m.params.line_bytes, base + 3 * m.params.line_bytes]
+
+    def thread(me, mine, other):
+        def fn(ctx):
+            yield ops.Load(x)
+            yield ops.Load(y)
+            yield ops.Compute(1600)
+            yield ops.Store(pads[me], 7)
+            yield ops.Store(mine, 1)
+            yield ops.Fence(FenceRole.CRITICAL)
+            v = yield ops.Load(other)
+            yield ops.Note(("r", v))
+        return fn
+
+    m.spawn(thread(0, x, y))
+    m.spawn(thread(1, y, x))
+    res = m.run()
+    assert res.completed
+    out = (notes_of(m, 0)[0][1], notes_of(m, 1)[0][1])
+    assert out != (0, 0)
+    assert find_scv(res.events) is None

@@ -1,0 +1,70 @@
+"""Property-based tests of the Bypass Set."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bypass_set import BypassSet
+
+lines = st.integers(min_value=0, max_value=30).map(lambda i: i * 32)
+fences = st.integers(min_value=1, max_value=6)
+masks = st.integers(min_value=1, max_value=255)
+
+adds = st.lists(st.tuples(lines, masks, fences), max_size=40)
+
+
+@given(adds)
+@settings(max_examples=150, deadline=None)
+def test_no_false_negatives_vs_reference(entries):
+    bs = BypassSet(capacity=64, fine_grain=True)
+    reference = {}
+    for line, mask, fence in entries:
+        bs.add(line, mask, fence)
+        old_mask, old_fence = reference.get(line, (0, 0))
+        reference[line] = (old_mask | mask, max(old_fence, fence))
+    for line, (mask, _fence) in reference.items():
+        assert bs.match_line(line)
+        assert bs.true_sharing(line, mask)
+    # and nothing extra matches
+    for probe in range(0, 31 * 32, 32):
+        assert bs.match_line(probe) == (probe in reference)
+
+
+@given(adds, fences)
+@settings(max_examples=150, deadline=None)
+def test_clear_upto_clears_exactly_old_fences(entries, clear_to):
+    bs = BypassSet(capacity=64, fine_grain=True)
+    reference = {}
+    for line, mask, fence in entries:
+        bs.add(line, mask, fence)
+        old_mask, old_fence = reference.get(line, (0, 0))
+        reference[line] = (old_mask | mask, max(old_fence, fence))
+    bs.clear_upto(clear_to)
+    for line, (_mask, fence) in reference.items():
+        assert bs.match_line(line) == (fence > clear_to)
+
+
+@given(adds)
+@settings(max_examples=100, deadline=None)
+def test_word_mask_union_is_monotone(entries):
+    bs = BypassSet(capacity=64, fine_grain=True)
+    seen = {}
+    for line, mask, fence in entries:
+        bs.add(line, mask, fence)
+        seen[line] = seen.get(line, 0) | mask
+        # every previously-seen word still reports true sharing
+        for bit in range(8):
+            if seen[line] & (1 << bit):
+                assert bs.true_sharing(line, 1 << bit)
+
+
+@given(adds)
+@settings(max_examples=100, deadline=None)
+def test_clear_all_empties(entries):
+    bs = BypassSet(capacity=64)
+    for line, mask, fence in entries:
+        bs.add(line, mask, fence)
+    bs.note_bounce()
+    bs.clear_all()
+    assert bs.empty and len(bs) == 0
+    for line, _m, _f in entries:
+        assert not bs.match_line(line)

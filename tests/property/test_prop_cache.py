@@ -1,0 +1,80 @@
+"""Property-based tests of the set-associative cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import LineState, SetAssocCache
+
+LINE = 32
+SETS = 4
+WAYS = 2
+
+lines = st.integers(min_value=0, max_value=63).map(lambda i: i * LINE)
+states = st.sampled_from(list(LineState))
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), lines, states),
+        st.tuples(st.just("lookup"), lines),
+        st.tuples(st.just("invalidate"), lines),
+    ),
+    max_size=60,
+)
+
+
+def fresh():
+    return SetAssocCache(SETS * WAYS * LINE, WAYS, LINE)
+
+
+def apply_ops(cache, ops_list):
+    model = {}  # line -> state, plus LRU via list per set
+    for op in ops_list:
+        if op[0] == "insert":
+            _k, line, state = op
+            evicted = cache.insert(line, state)
+            model[line] = state
+            if evicted is not None:
+                del model[evicted[0]]
+        elif op[0] == "lookup":
+            cache.lookup(op[1])
+        else:
+            cache.invalidate(op[1])
+            model.pop(op[1], None)
+    return model
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_capacity_never_exceeded(ops_list):
+    cache = fresh()
+    apply_ops(cache, ops_list)
+    for s in cache.sets:
+        assert len(s) <= WAYS
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_contents_match_reference_model(ops_list):
+    cache = fresh()
+    model = apply_ops(cache, ops_list)
+    assert dict(cache.lines()) == model
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_lines_stay_in_their_set(ops_list):
+    cache = fresh()
+    apply_ops(cache, ops_list)
+    for idx, s in enumerate(cache.sets):
+        for line in s:
+            assert (line // LINE) % SETS == idx
+
+
+@given(st.lists(lines, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_most_recently_inserted_never_evicted(sequence):
+    cache = fresh()
+    for line in sequence:
+        evicted = cache.insert(line, LineState.S)
+        assert cache.lookup(line) is not None
+        if evicted is not None:
+            assert evicted[0] != line

@@ -1,0 +1,104 @@
+"""Cross-component invariants sampled during live runs.
+
+The BS-monitoring invariant of §3.3.1/§5.1: while a core's Bypass Set
+holds a line, the directory must still list that core among the line's
+caching cores — otherwise a future conflicting write would never reach
+the BS and could complete unordered.  We sample it at every directory
+grant during randomized runs of the bounce-heavy litmus patterns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+
+from tests.support import tiny_params
+
+
+def install_bs_invariant_probe(machine, violations):
+    """Check the invariant just before every directory begins a write
+    transaction (a stable point: no invalidations in flight for that
+    line)."""
+    for bank in machine.banks:
+        orig_begin = bank._begin
+
+        def begin(txn, bank=bank, orig=orig_begin):
+            for core in machine.cores:
+                for line in core.bs.lines():
+                    home = machine.amap.home_bank(line)
+                    entry = machine.banks[home].dir_state(line)
+                    if core.core_id not in entry.caching_cores():
+                        violations.append((core.core_id, hex(line)))
+            orig(txn)
+
+        bank._begin = begin
+
+
+@given(st.sampled_from([FenceDesign.WS_PLUS, FenceDesign.SW_PLUS,
+                        FenceDesign.W_PLUS]),
+       st.integers(0, 7))
+@settings(max_examples=24, deadline=None)
+def test_bs_lines_always_visible_to_directory(design, seed):
+    m = Machine(tiny_params(design, num_cores=2), seed=seed)
+    violations = []
+    install_bs_invariant_probe(m, violations)
+    x, y = m.alloc.word(), m.alloc.word()
+    pads = [m.alloc.word(), m.alloc.word()]
+
+    def thread(me, mine, other, role):
+        def fn(ctx):
+            yield ops.Load(x)
+            yield ops.Load(y)
+            yield ops.Compute(1200 + 100 * seed)
+            yield ops.Store(pads[me], 7)
+            yield ops.Store(mine, 1)
+            yield ops.Fence(role)
+            yield ops.Load(other)
+        return fn
+
+    m.spawn(thread(0, x, y, FenceRole.CRITICAL))
+    m.spawn(thread(1, y, x, FenceRole.STANDARD))
+    m.run(max_cycles=500_000)
+    assert not violations, violations[:5]
+
+
+@given(st.integers(0, 7))
+@settings(max_examples=12, deadline=None)
+def test_bs_invariant_survives_evictions(seed):
+    """Evicting a BS line (dirty, keep-sharer writeback) must preserve
+    the invariant."""
+    m = Machine(tiny_params(FenceDesign.WS_PLUS, num_cores=2), seed=seed)
+    violations = []
+    install_bs_invariant_probe(m, violations)
+    set_stride = m.params.l1_sets * m.params.line_bytes
+    ways = m.params.l1_ways
+    base = m.alloc.alloc(4 * (ways + 2) * set_stride // 4,
+                         align_bytes=set_stride)
+    conflicting = [base + i * set_stride for i in range(ways + 1)]
+    target = conflicting[0]
+    pads = [m.alloc.word(), m.alloc.word()]
+
+    def p0(ctx):
+        yield ops.Store(target, 3)
+        for addr in conflicting[1:-1]:
+            yield ops.Load(addr)
+        yield ops.Compute(900 + seed * 50)
+        yield ops.Store(pads[0], 7)
+        yield ops.Store(pads[1], 7)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(target)
+        for addr in conflicting[1:-1]:
+            yield ops.Load(addr)
+        yield ops.Load(conflicting[-1])  # evicts the BS-held target
+
+    def p1(ctx):
+        yield ops.Compute(600)
+        yield ops.Store(target, 9)       # conflicting write: must bounce
+        yield ops.Load(conflicting[1])
+
+    m.spawn(p0)
+    m.spawn(p1)
+    m.run(max_cycles=500_000)
+    assert not violations, violations[:5]

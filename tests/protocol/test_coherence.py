@@ -1,0 +1,184 @@
+"""Integration tests of the MESI directory protocol through tiny
+machines: visibility, invalidation, exclusivity, writebacks."""
+
+import pytest
+
+from repro import FenceDesign, ops
+from repro.mem.cache import LineState
+
+from tests.support import notes_of, run_threads, tiny_params
+from repro.sim.machine import Machine
+
+
+def test_store_becomes_globally_visible(machine):
+    x = machine.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(x, 42)
+
+    def reader(ctx):
+        while True:
+            v = yield ops.Load(x)
+            if v:
+                break
+            yield ops.Compute(20)
+        yield ops.Note(("v", v))
+
+    run_threads(machine, writer, reader)
+    assert notes_of(machine, 1) == [("v", 42)]
+    assert machine.image.peek(x) == 42
+
+
+def test_exclusive_grant_on_sole_reader():
+    m = Machine(tiny_params())
+    x = m.alloc.word()
+
+    def reader(ctx):
+        yield ops.Load(x)
+
+    run_threads(m, reader)
+    line = m.amap.line_of(x)
+    assert m.l1s[0].cache.lookup(line) is LineState.E
+    assert m.banks[m.amap.home_bank(x)].dir_state(line).owner == 0
+
+
+def test_second_reader_downgrades_to_shared():
+    m = Machine(tiny_params())
+    x = m.alloc.word()
+    order = []
+
+    def t0(ctx):
+        yield ops.Load(x)
+        order.append(0)
+        yield ops.Compute(400)
+
+    def t1(ctx):
+        yield ops.Compute(100)
+        yield ops.Load(x)
+        order.append(1)
+
+    run_threads(m, t0, t1)
+    line = m.amap.line_of(x)
+    assert m.l1s[0].cache.lookup(line) is LineState.S
+    assert m.l1s[1].cache.lookup(line) is LineState.S
+    entry = m.banks[m.amap.home_bank(x)].dir_state(line)
+    assert entry.owner is None and entry.sharers == {0, 1}
+
+
+def test_writer_invalidates_sharers():
+    m = Machine(tiny_params())
+    x = m.alloc.word()
+
+    def reader(ctx):
+        yield ops.Load(x)
+        yield ops.Compute(2000)  # hold while the writer invalidates
+
+    def writer(ctx):
+        yield ops.Compute(300)
+        yield ops.Store(x, 9)
+        yield ops.Compute(2000)
+
+    run_threads(m, reader, writer)
+    line = m.amap.line_of(x)
+    assert m.l1s[0].cache.lookup(line) is None  # invalidated
+    assert m.l1s[1].cache.lookup(line) is LineState.M
+    entry = m.banks[m.amap.home_bank(x)].dir_state(line)
+    assert entry.owner == 1 and not entry.sharers
+
+
+def test_read_after_remote_write_fetches_dirty_data():
+    m = Machine(tiny_params())
+    x = m.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(x, 1234)
+
+    def reader(ctx):
+        yield ops.Compute(800)  # let the store land in the writer's L1
+        v = yield ops.Load(x)
+        yield ops.Note(("v", v))
+
+    run_threads(m, writer, reader)
+    assert notes_of(m, 1) == [("v", 1234)]
+    line = m.amap.line_of(x)
+    # M -> S downgrade at the writer
+    assert m.l1s[0].cache.lookup(line) is LineState.S
+
+
+def test_dirty_eviction_writes_back():
+    m = Machine(tiny_params())
+    # two lines mapping to the same L1 set, plus enough to evict
+    ways = m.params.l1_ways
+    set_stride = m.params.l1_sets * m.params.line_bytes
+    base = m.alloc.alloc(8 * set_stride // 4, align_bytes=set_stride)
+    victims = [base + i * set_stride for i in range(ways + 1)]
+
+    def writer(ctx):
+        for addr in victims:
+            yield ops.Store(addr, 7)
+            yield ops.Compute(400)
+
+    run_threads(m, writer)
+    assert m.stats.dirty_writebacks >= 1
+    first_line = m.amap.line_of(victims[0])
+    assert m.l1s[0].cache.lookup(first_line) is None
+    # directory no longer thinks core 0 owns the evicted line
+    assert m.banks[m.amap.home_bank(first_line)].dir_state(first_line).owner is None
+
+
+def test_store_to_load_forwarding_before_visibility():
+    m = Machine(tiny_params(num_cores=1))
+    x = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Store(x, 5)
+        v = yield ops.Load(x)  # forwarded from the WB, before merge
+        yield ops.Note(("v", v))
+
+    run_threads(m, t)
+    assert notes_of(m, 0) == [("v", 5)]
+
+
+def test_rmw_atomicity_under_contention():
+    m = Machine(tiny_params(num_cores=4, exact=False))
+    x = m.alloc.word()
+    N = 20
+
+    def incrementer(ctx):
+        for _ in range(N):
+            yield ops.AtomicRMW(x, "add", 1)
+            yield ops.Compute(30)
+
+    for _ in range(4):
+        m.spawn(incrementer)
+    m.run()
+    assert m.image.peek(x) == 4 * N
+
+
+def test_cas_semantics():
+    m = Machine(tiny_params(num_cores=1))
+    x = m.alloc.word()
+
+    def t(ctx):
+        old = yield ops.AtomicRMW(x, "cas", (0, 7))
+        yield ops.Note(("first", old))
+        old = yield ops.AtomicRMW(x, "cas", (0, 9))
+        yield ops.Note(("second", old))
+        old = yield ops.AtomicRMW(x, "xchg", 11)
+        yield ops.Note(("xchg", old))
+
+    run_threads(m, t)
+    assert notes_of(m, 0) == [("first", 0), ("second", 7), ("xchg", 7)]
+    assert m.image.peek(x) == 11
+
+
+def test_network_traffic_is_accounted():
+    m = Machine(tiny_params())
+    x = m.alloc.word()
+
+    def writer(ctx):
+        yield ops.Store(x, 1)
+
+    run_threads(m, writer)
+    assert m.stats.network_bytes > 0
+    assert m.stats.coherence_transactions >= 1

@@ -1,0 +1,71 @@
+"""Lamport's Bakery algorithm under the asymmetric designs (paper §4.3).
+
+The invariant: mutual exclusion.  Each thread performs non-atomic
+read-modify-write increments of a shared counter inside the critical
+section; a lost update means two threads were inside simultaneously —
+exactly the SCV symptom broken fences produce in Bakery.
+"""
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.core import isa as ops
+from repro.runtime.bakery import Bakery
+from repro.sim.machine import Machine
+
+
+def run_bakery(design, threads=3, rounds=4, priority=None, seed=11):
+    params = MachineParams(num_cores=threads, num_banks=threads)\
+        .with_design(design)
+    m = Machine(params, seed=seed)
+    bakery = Bakery(m.alloc, threads, priority_tid=priority)
+    counter = m.alloc.word()
+
+    def worker(ctx):
+        for _ in range(rounds):
+            yield from bakery.lock(ctx.tid)
+            # non-atomic increment: only safe under mutual exclusion
+            v = yield ops.Load(counter)
+            yield ops.Compute(40)
+            yield ops.Store(counter, v + 1)
+            yield from bakery.unlock(ctx.tid)
+            yield ops.Compute(60)
+
+    m.spawn_all(worker)
+    m.run(max_cycles=3_000_000)
+    return m, counter, threads * rounds
+
+
+@pytest.mark.parametrize("design", [FenceDesign.S_PLUS,
+                                    FenceDesign.W_PLUS,
+                                    FenceDesign.WEE])
+def test_mutual_exclusion_symmetric_designs(design):
+    m, counter, expected = run_bakery(design)
+    assert m.image.peek(counter) == expected
+
+
+def test_mutual_exclusion_ws_plus_with_priority_thread():
+    """WS+ usage per the paper: one prioritized thread uses wfs, the
+    others sfs — at most one wf per dynamic group."""
+    m, counter, expected = run_bakery(FenceDesign.WS_PLUS, priority=0)
+    assert m.image.peek(counter) == expected
+    assert m.stats.total_wf >= 1 and m.stats.total_sf >= 1
+
+
+def test_sw_plus_with_priority_thread():
+    m, counter, expected = run_bakery(FenceDesign.SW_PLUS, priority=0)
+    assert m.image.peek(counter) == expected
+
+
+def test_wplus_all_threads_equal():
+    """W+ lets every thread run wfs (the 'all threads equally fast'
+    usage of §4.3)."""
+    m, counter, expected = run_bakery(FenceDesign.W_PLUS)
+    assert m.image.peek(counter) == expected
+    assert m.stats.total_sf == 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_mutual_exclusion_seed_sweep(seed):
+    m, counter, expected = run_bakery(FenceDesign.W_PLUS, seed=seed)
+    assert m.image.peek(counter) == expected

@@ -1,0 +1,99 @@
+"""THE deque edge cases: wrap-around, empty steals, lock contention."""
+
+import pytest
+
+from repro.common.params import FenceDesign
+from repro.core import isa as ops
+from repro.runtime.workstealing import EMPTY, WorkDeque
+from repro.sim.machine import Machine
+
+from tests.support import notes_of, run_threads, tiny_params
+
+
+def test_slot_index_wraps_around_capacity():
+    m = Machine(tiny_params(num_cores=1))
+    dq = WorkDeque(m.alloc, capacity=4, owner=0)
+    out = []
+
+    def t(ctx):
+        # push/take cycles advance tail far past the capacity
+        for round_ in range(6):
+            yield from dq.push(100 + round_)
+            task = yield from dq.take()
+            out.append(task)
+
+    run_threads(m, t)
+    assert out == [100, 101, 102, 103, 104, 105]
+
+
+def test_take_from_empty_deque():
+    m = Machine(tiny_params(num_cores=1))
+    dq = WorkDeque(m.alloc, capacity=4, owner=0)
+    out = []
+
+    def t(ctx):
+        task = yield from dq.take()
+        out.append(task)
+        # the failed take must leave the deque usable
+        yield from dq.push(7)
+        task = yield from dq.take()
+        out.append(task)
+
+    run_threads(m, t)
+    assert out == [EMPTY, 7]
+
+
+def test_steal_from_empty_deque_undoes_head():
+    m = Machine(tiny_params(num_cores=2))
+    dq = WorkDeque(m.alloc, capacity=4, owner=0)
+    out = []
+
+    def thief(ctx):
+        task = yield from dq.steal(thief=1)
+        out.append(task)
+
+    def owner(ctx):
+        yield ops.Compute(3000)
+        yield from dq.push(9)
+        task = yield from dq.take()
+        out.append(task)
+
+    run_threads(m, thief, owner)
+    assert out == [EMPTY, 9]
+    # head restored: head == tail after everything
+    assert m.image.peek(dq.head_addr) == m.image.peek(dq.tail_addr)
+
+
+def test_two_thieves_share_one_victim():
+    m = Machine(tiny_params(FenceDesign.WS_PLUS, num_cores=3,
+                            exact=False), seed=8)
+    dq = WorkDeque(m.alloc, capacity=16, owner=0)
+
+    def owner(ctx):
+        for i in range(1, 9):
+            yield from dq.push(i)
+        yield ops.Compute(8000)
+
+    def thief(me):
+        def fn(ctx):
+            got = []
+            yield ops.Compute(400 * me)
+            for _ in range(3):
+                task = yield from dq.steal(thief=me)
+                if task is not EMPTY:
+                    got.append(task)
+                yield ops.Compute(200)
+            yield ops.Note(("got", tuple(got)))
+        return fn
+
+    m.spawn(owner)
+    m.spawn(thief(1))
+    m.spawn(thief(2))
+    m.run()
+    got1 = dict(notes_of(m, 1))["got"]
+    got2 = dict(notes_of(m, 2))["got"]
+    stolen = list(got1) + list(got2)
+    # no task stolen twice, and steals come from the head (FIFO)
+    assert len(stolen) == len(set(stolen))
+    assert sorted(got1 + got2) == sorted(stolen)
+    assert set(stolen) <= set(range(1, 9))

@@ -1,0 +1,186 @@
+"""Correctness of the transactional data structures against reference
+models (single-threaded: pure structure logic, no contention)."""
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.sim.machine import Machine
+from repro.stm.tlrw import TlrwStm
+from repro.stm.txn import Txn
+from repro.workloads.ustm import DList, Hash, TxList, _TreeBase
+
+
+def build(workload_cls, **attrs):
+    params = MachineParams(num_cores=1, num_banks=1)
+    m = Machine(params, seed=9)
+    wl = workload_cls(scale=1.0)
+    for k, v in attrs.items():
+        setattr(wl, k, v)
+    wl.stm = TlrwStm(m.alloc, 1)
+    wl.build(m)
+    return m, wl
+
+
+def drive(m, gen_fn):
+    """Run one generator as the single thread and return its value."""
+    out = {}
+
+    def thread(ctx):
+        out["value"] = yield from gen_fn(ctx)
+
+    m.spawn(thread)
+    m.run()
+    return out.get("value")
+
+
+def test_list_against_reference_model():
+    m, wl = build(TxList)
+    pool = wl.heap.pool_for(0)
+    reference = set(range(0, wl.key_range, wl.key_range // wl.initial_keys))
+    script = [("insert", 33), ("lookup", 33), ("delete", 33),
+              ("lookup", 33), ("insert", 5), ("insert", 5),
+              ("delete", 0), ("lookup", 0), ("insert", 95),
+              ("lookup", 95), ("delete", 95), ("delete", 95)]
+
+    def gen(ctx):
+        results = []
+        for op, key in script:
+            txn = Txn(wl.stm, 0)
+            if op == "lookup":
+                v = yield from wl.lookup(txn, key)
+                results.append(v is not None)
+            elif op == "insert":
+                yield from wl.insert(txn, key, pool)
+                results.append(True)
+            else:
+                v = yield from wl.delete(txn, key)
+                results.append(v)
+            yield from txn.commit()
+        return results
+
+    results = drive(m, gen)
+    expected = []
+    for op, key in script:
+        if op == "lookup":
+            expected.append(key in reference)
+        elif op == "insert":
+            reference.add(key)
+            expected.append(True)
+        else:
+            expected.append(key in reference)
+            reference.discard(key)
+    assert results == expected
+
+
+def _collect_list_keys(m, wl):
+    """Walk the list non-transactionally via the image."""
+    keys = []
+    cur = m.image.peek(wl.head)
+    while cur:
+        keys.append(m.image.peek(wl.heap.field(cur, wl.KEY)))
+        cur = m.image.peek(wl.heap.field(cur, wl.NXT))
+    return keys
+
+
+def test_list_stays_sorted():
+    m, wl = build(TxList)
+    pool = wl.heap.pool_for(0)
+
+    def gen(ctx):
+        for key in (3, 77, 41, 90, 1):
+            txn = Txn(wl.stm, 0)
+            yield from wl.insert(txn, key, pool)
+            yield from txn.commit()
+
+    drive(m, gen)
+    keys = _collect_list_keys(m, wl)
+    assert keys == sorted(keys)
+    for key in (3, 77, 41, 90, 1):
+        assert key in keys
+
+
+def test_dlist_back_links_consistent():
+    m, wl = build(DList)
+    pool = wl.heap.pool_for(0)
+
+    def gen(ctx):
+        for key in (9, 3, 50):
+            txn = Txn(wl.stm, 0)
+            yield from wl.insert(txn, key, pool)
+            yield from txn.commit()
+        txn = Txn(wl.stm, 0)
+        yield from wl.delete(txn, 9)
+        yield from txn.commit()
+
+    drive(m, gen)
+    # walk forward checking prev pointers
+    prev = 0
+    cur = m.image.peek(wl.head)
+    while cur:
+        assert m.image.peek(wl.heap.field(cur, wl.PRV)) == prev
+        prev = cur
+        cur = m.image.peek(wl.heap.field(cur, wl.NXT))
+    assert 9 not in _collect_list_keys(m, wl)
+
+
+def test_tree_bst_property_after_inserts_and_deletes():
+    m, wl = build(_TreeBase, key_range=128)
+    pool = wl.heap.pool_for(0)
+
+    def gen(ctx):
+        found = []
+        for key in (1, 127, 63, 2, 99):
+            txn = Txn(wl.stm, 0)
+            yield from wl.tree_insert(txn, key, pool)
+            yield from txn.commit()
+        for key in (1, 127, 63):
+            txn = Txn(wl.stm, 0)
+            v = yield from wl.tree_lookup(txn, key)
+            found.append(v is not None)
+            yield from txn.commit()
+        txn = Txn(wl.stm, 0)
+        yield from wl.tree_delete_leafish(txn, 1)
+        yield from txn.commit()
+        return found
+
+    found = drive(m, gen)
+    assert found == [True, True, True]
+
+    def check_bst(idx, lo, hi):
+        if not idx:
+            return
+        key = m.image.peek(wl.heap.field(idx, wl.KEY))
+        assert lo <= key <= hi, f"BST violated at {key}"
+        check_bst(m.image.peek(wl.heap.field(idx, wl.LEFT)), lo, key - 1)
+        check_bst(m.image.peek(wl.heap.field(idx, wl.RIGHT)), key + 1, hi)
+
+    check_bst(m.image.peek(wl.root), 0, 10 ** 9)
+
+
+def test_hash_insert_lookup_delete():
+    m, wl = build(Hash)
+    pool = wl.heap.pool_for(0)
+
+    def gen(ctx):
+        results = []
+        for key in (5, 5 + wl.buckets, 5 + 2 * wl.buckets):  # one bucket
+            txn = Txn(wl.stm, 0)
+            _field, cur = yield from wl._find_in_bucket(txn, key)
+            if not cur and pool:
+                node = pool[-1]
+                head = wl.bucket_heads[key % wl.buckets]
+                old = yield from txn.read(head)
+                yield from txn.write(wl.heap.field(node, wl.KEY), key)
+                yield from txn.write(wl.heap.field(node, wl.VAL), key)
+                yield from txn.write(wl.heap.field(node, wl.NXT), old)
+                yield from txn.write(head, node)
+                pool.pop()
+            yield from txn.commit()
+        for key in (5, 5 + wl.buckets):
+            txn = Txn(wl.stm, 0)
+            _field, cur = yield from wl._find_in_bucket(txn, key)
+            results.append(bool(cur))
+            yield from txn.commit()
+        return results
+
+    assert drive(m, gen) == [True, True]

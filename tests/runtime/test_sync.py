@@ -1,0 +1,76 @@
+"""Spinlock and barrier primitives."""
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.core import isa as ops
+from repro.runtime.sync import Barrier, SpinLock
+from repro.sim.machine import Machine
+
+from tests.support import tiny_params
+
+
+def test_spinlock_mutual_exclusion():
+    m = Machine(tiny_params(num_cores=4, exact=False), seed=5)
+    lock = SpinLock(m.alloc)
+    counter = m.alloc.word()
+    N = 10
+
+    def worker(ctx):
+        for _ in range(N):
+            yield from lock.acquire(ctx.tid)
+            v = yield ops.Load(counter)
+            yield ops.Compute(30)
+            yield ops.Store(counter, v + 1)
+            yield from lock.release(ctx.tid)
+            yield ops.Compute(40)
+
+    m.spawn_all(worker)
+    m.run(max_cycles=3_000_000)
+    assert m.image.peek(counter) == 4 * N
+    assert m.image.peek(lock.addr) == 0  # released
+
+
+def test_spinlock_reports_contention_attempts():
+    m = Machine(tiny_params(num_cores=2, exact=False), seed=5)
+    lock = SpinLock(m.alloc)
+    attempts = []
+
+    def holder(ctx):
+        yield from lock.acquire(0)
+        yield ops.Compute(3000)
+        yield from lock.release(0)
+
+    def contender(ctx):
+        yield ops.Compute(200)
+        n = yield from lock.acquire(1)
+        attempts.append(n)
+        yield from lock.release(1)
+
+    m.spawn(holder)
+    m.spawn(contender)
+    m.run()
+    assert attempts and attempts[0] >= 1
+
+
+def test_barrier_synchronizes_all_threads():
+    m = Machine(tiny_params(num_cores=4, exact=False), seed=5)
+    barrier = Barrier(m.alloc, 4)
+    after = m.alloc.alloc_words_padded(4)
+    orders = []
+
+    def worker(ctx):
+        sense = [0]
+        yield ops.Compute(100 * (ctx.tid + 1))  # skewed arrival
+        yield from barrier.wait(sense)
+        # everyone passed phase 1 before anyone starts phase 2
+        orders.append(("p2", ctx.tid))
+        yield ops.Store(after[ctx.tid], 1)
+        yield from barrier.wait(sense)
+        orders.append(("p3", ctx.tid))
+
+    m.spawn_all(worker)
+    m.run(max_cycles=2_000_000)
+    phases = [p for p, _t in orders]
+    assert phases[:4].count("p2") == 4, "a thread passed the barrier early"
+    assert all(m.image.peek(a) == 1 for a in after)

@@ -1,0 +1,132 @@
+"""The THE work-stealing runtime: exactly-once execution under every
+fence design, steal behaviour, deque protocol."""
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.core import isa as ops
+from repro.runtime.workstealing import EMPTY, WorkDeque, WorkStealingRuntime
+from repro.sim.machine import Machine
+
+from tests.support import notes_of, run_threads, tiny_params
+
+
+class BinaryTreeApp:
+    """Simple complete binary task tree rooted at worker 0."""
+
+    def __init__(self, depth, leaf_work=60):
+        self.depth = depth
+        self.leaf_work = leaf_work
+        self.total_tasks = 2 ** (depth + 1) - 1
+
+    def roots(self, worker):
+        return [1] if worker == 0 else []
+
+    def run_task(self, tid):
+        yield ops.Compute(self.leaf_work)
+        if tid.bit_length() - 1 < self.depth:
+            return [2 * tid, 2 * tid + 1]
+        return []
+
+
+def run_app(design, workers=4, depth=6, seed=3):
+    params = MachineParams(num_cores=workers, num_banks=workers)\
+        .with_design(design)
+    m = Machine(params, seed=seed)
+    rt = WorkStealingRuntime(m.alloc, workers)
+    app = BinaryTreeApp(depth)
+
+    def worker(ctx):
+        yield from rt.worker_loop(ctx, app)
+
+    m.spawn_all(worker)
+    m.run()
+    return m, app
+
+
+@pytest.mark.parametrize("design", list(FenceDesign))
+def test_every_task_executes_exactly_once(design):
+    m, app = run_app(design)
+    assert m.stats.tasks_executed == app.total_tasks
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_wplus_exactly_once_across_seeds(seed):
+    m, app = run_app(FenceDesign.W_PLUS, seed=seed)
+    assert m.stats.tasks_executed == app.total_tasks
+
+
+def test_stealing_happens_and_spreads_work():
+    m, app = run_app(FenceDesign.S_PLUS, workers=4, depth=7)
+    assert m.stats.tasks_stolen >= 1
+    # more than one core did work
+    busy_cores = sum(1 for b in m.stats.breakdown if b.busy > 0)
+    assert busy_cores == 4
+
+
+def test_owner_fences_weak_thief_fences_strong_under_ws_plus():
+    m, app = run_app(FenceDesign.WS_PLUS, workers=4, depth=6)
+    # takes (owner, critical->wf) vastly outnumber steals (sf)
+    assert m.stats.total_wf > m.stats.total_sf
+    assert m.stats.total_sf >= 1  # lock-path / steal fences exist
+
+
+def test_deque_push_take_lifo():
+    m = Machine(tiny_params(num_cores=1))
+    dq = WorkDeque(m.alloc, capacity=16, owner=0)
+    out = []
+
+    def t(ctx):
+        for task in (11, 22, 33):
+            yield from dq.push(task)
+        for _ in range(4):
+            task = yield from dq.take()
+            out.append(task)
+
+    run_threads(m, t)
+    assert out == [33, 22, 11, EMPTY]
+
+
+def test_deque_steal_fifo_from_head():
+    m = Machine(tiny_params(num_cores=2))
+    dq = WorkDeque(m.alloc, capacity=16, owner=0)
+    out = []
+
+    def owner(ctx):
+        for task in (11, 22, 33):
+            yield from dq.push(task)
+        yield ops.Compute(4000)  # let the thief work
+
+    def thief(ctx):
+        yield ops.Compute(600)
+        for _ in range(2):
+            task = yield from dq.steal(thief=1)
+            out.append(task)
+
+    run_threads(m, owner, thief)
+    assert out == [11, 22]
+
+
+def test_take_steal_race_on_last_task_is_safe():
+    """The THE boundary case: one task, owner and thief race; the lock
+    fallback must hand it to exactly one of them."""
+    for seed in range(6):
+        m = Machine(tiny_params(FenceDesign.WS_PLUS, num_cores=2))
+        dq = WorkDeque(m.alloc, capacity=8, owner=0)
+        got = []
+
+        def owner(ctx):
+            yield from dq.push(77)
+            yield ops.Compute(300 + 40 * seed)
+            task = yield from dq.take()
+            yield ops.Note(("take", task))
+
+        def thief(ctx):
+            yield ops.Compute(280 + 45 * seed)
+            task = yield from dq.steal(thief=1)
+            yield ops.Note(("steal", task))
+
+        run_threads(m, owner, thief)
+        taken = [v for _k, v in notes_of(m, 0) + notes_of(m, 1)
+                 if v is not EMPTY]
+        assert taken == [77], f"seed {seed}: task duplicated or lost"

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.sim.machine import Machine
+
+ALL_DESIGNS = tuple(FenceDesign)
+WEAK_DESIGNS = (FenceDesign.WS_PLUS, FenceDesign.SW_PLUS,
+                FenceDesign.W_PLUS, FenceDesign.WEE)
+
+
+def tiny_params(design=FenceDesign.S_PLUS, num_cores=2, exact=True, **over):
+    """Small machine for protocol/litmus tests.
+
+    ``exact=True`` disables the local-op micro-batching so event
+    interleavings are cycle-exact.
+    """
+    base = MachineParams(
+        num_cores=num_cores,
+        num_banks=num_cores,
+        batch_cycles=0 if exact else 24,
+        track_dependences=over.pop("track_dependences", False),
+    ).with_design(design)
+    return replace(base, **over) if over else base
+
+
+@pytest.fixture
+def machine():
+    """A 2-core S+ machine with exact interleaving."""
+    return Machine(tiny_params(), seed=99)
+
+
+def run_threads(m: Machine, *fns, max_cycles=None):
+    """Spawn the given generator functions and run to completion."""
+    for fn in fns:
+        m.spawn(fn)
+    return m.run(max_cycles=max_cycles)
+
+
+def notes_of(machine: Machine, tid: int):
+    """Payloads the thread on core *tid* recorded via ops.Note."""
+    return [payload for _po, payload in machine.cores[tid].notes]

@@ -1,0 +1,67 @@
+"""Unit tests for the simulated-memory allocator."""
+
+import pytest
+
+from repro.common.addr import AddressMap
+from repro.common.errors import ConfigError
+from repro.runtime.alloc import Allocator
+
+
+@pytest.fixture
+def alloc():
+    amap = AddressMap(line_bytes=32, word_bytes=4, num_banks=8,
+                      interleave_bytes=512)
+    return Allocator(amap)
+
+
+def test_alloc_is_word_aligned_and_disjoint(alloc):
+    a = alloc.alloc(3)
+    b = alloc.alloc(5)
+    assert a % 4 == 0 and b % 4 == 0
+    assert b >= a + 3 * 4
+
+
+def test_alloc_line_padding(alloc):
+    a = alloc.alloc_line(2)     # 2 words but pads to a full line
+    b = alloc.alloc_line(1)
+    assert a % 32 == 0 and b % 32 == 0
+    assert b - a >= 32
+    assert not alloc.amap.same_line(a, b)
+
+
+def test_alloc_words_padded_private_lines(alloc):
+    words = alloc.alloc_words_padded(4)
+    lines = {alloc.amap.line_of(w) for w in words}
+    assert len(lines) == 4
+
+
+def test_alloc_same_bank_targets_bank(alloc):
+    data = alloc.word()
+    lock = alloc.alloc_same_bank(data, 9)
+    assert alloc.amap.home_bank(lock) == alloc.amap.home_bank(data)
+    # line-aligned and the allocation stays inside one interleave block
+    assert lock % 32 == 0
+    end = lock + 9 * 4 - 1
+    assert lock // 512 == end // 512
+
+
+def test_alloc_same_bank_never_overlaps_prior_allocations(alloc):
+    data = alloc.alloc_line(64)  # 8 lines
+    lock = alloc.alloc_same_bank(data, 8)
+    assert lock >= data + 64 * 4
+
+
+def test_alloc_same_bank_rejects_oversized(alloc):
+    data = alloc.word()
+    with pytest.raises(ConfigError):
+        alloc.alloc_same_bank(data, 1000)
+
+
+def test_words_of(alloc):
+    base = alloc.alloc(4)
+    assert alloc.words_of(base, 3) == [base, base + 4, base + 8]
+
+
+def test_bad_alloc_rejected(alloc):
+    with pytest.raises(ConfigError):
+        alloc.alloc(0)

@@ -1,0 +1,95 @@
+"""Unit tests for the set-associative tag store."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.cache import LineState, SetAssocCache
+
+
+def make_cache(sets=4, ways=2, line=32):
+    return SetAssocCache(size_bytes=sets * ways * line, ways=ways,
+                         line_bytes=line)
+
+
+def addr_for_set(cache, set_idx, tag):
+    """A line address mapping to *set_idx* with a distinct tag."""
+    return (tag * cache.num_sets + set_idx) * cache.line_bytes
+
+
+def test_insert_and_lookup():
+    c = make_cache()
+    c.insert(0x100 - 0x100 % 32, LineState.S)
+    assert c.lookup(0x100 - 0x100 % 32) is LineState.S
+    assert c.lookup(0x2000) is None
+
+
+def test_invalidate():
+    c = make_cache()
+    line = addr_for_set(c, 0, 0)
+    c.insert(line, LineState.M)
+    assert c.invalidate(line) is LineState.M
+    assert c.lookup(line) is None
+    assert c.invalidate(line) is None
+
+
+def test_lru_eviction_order():
+    c = make_cache(sets=1, ways=2)
+    a = addr_for_set(c, 0, 0)
+    b = addr_for_set(c, 0, 1)
+    d = addr_for_set(c, 0, 2)
+    c.insert(a, LineState.S)
+    c.insert(b, LineState.S)
+    # touch a so b becomes LRU
+    assert c.lookup(a) is LineState.S
+    evicted = c.insert(d, LineState.S)
+    assert evicted == (b, LineState.S)
+    assert c.lookup(a) is not None and c.lookup(d) is not None
+
+
+def test_victim_preview_matches_eviction():
+    c = make_cache(sets=1, ways=2)
+    a, b, d = (addr_for_set(c, 0, t) for t in range(3))
+    c.insert(a, LineState.M)
+    c.insert(b, LineState.S)
+    assert c.victim(d) == (a, LineState.M)
+    assert c.victim(a) is None  # hit: no eviction
+    assert c.insert(d, LineState.S) == (a, LineState.M)
+
+
+def test_lookup_without_touch_does_not_refresh_lru():
+    c = make_cache(sets=1, ways=2)
+    a, b, d = (addr_for_set(c, 0, t) for t in range(3))
+    c.insert(a, LineState.S)
+    c.insert(b, LineState.S)
+    c.lookup(a, touch=False)
+    evicted = c.insert(d, LineState.S)
+    assert evicted[0] == a  # a stayed LRU despite the untouched lookup
+
+
+def test_set_state_changes_in_place():
+    c = make_cache()
+    line = addr_for_set(c, 1, 0)
+    c.insert(line, LineState.E)
+    c.set_state(line, LineState.M)
+    assert c.lookup(line) is LineState.M
+
+
+def test_writable_states():
+    assert LineState.M.writable and LineState.E.writable
+    assert not LineState.S.writable
+
+
+def test_occupancy_and_lines():
+    c = make_cache()
+    c.insert(addr_for_set(c, 0, 0), LineState.S)
+    c.insert(addr_for_set(c, 1, 0), LineState.M)
+    assert c.occupancy() == 2
+    assert dict(c.lines()) == {
+        addr_for_set(c, 0, 0): LineState.S,
+        addr_for_set(c, 1, 0): LineState.M,
+    }
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        SetAssocCache(size_bytes=100, ways=3, line_bytes=32)

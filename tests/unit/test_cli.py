@@ -1,0 +1,72 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "fib" in out and "TreeOverwrite" in out and "vacation" in out
+    assert "S+" in out and "Wee" in out
+
+
+def test_run_single_design(capsys):
+    code, out = run_cli(capsys, "run", "fib", "--design", "S+",
+                        "--cores", "2", "--scale", "0.06")
+    assert code == 0
+    assert "fib under S+" in out
+    assert "tasks executed" in out
+
+
+def test_run_unknown_workload(capsys):
+    code = main(["run", "nope", "--cores", "2"])
+    assert code == 2
+
+
+def test_litmus_sb(capsys):
+    code, out = run_cli(capsys, "litmus", "sb", "--design", "W+")
+    assert code == 0
+    assert "SC preserved" in out
+
+
+def test_litmus_mp_all_designs(capsys):
+    from repro.common.params import FenceDesign
+    code, out = run_cli(capsys, "litmus", "mp")
+    assert code == 0
+    assert out.count("SC preserved") == len(FenceDesign)
+
+
+def test_table_static(capsys):
+    for n, marker in ((1, "WS+"), (2, "140 entries"), (3, "cilksort")):
+        code, out = run_cli(capsys, "table", str(n))
+        assert code == 0 and marker in out
+
+
+def test_table_out_of_range(capsys):
+    assert main(["table", "9"]) == 2
+
+
+def test_figure_out_of_range(capsys):
+    assert main(["figure", "1"]) == 2
+
+
+def test_design_argument_accepts_both_spellings():
+    parser = build_parser()
+    args = parser.parse_args(["run", "fib", "--design", "WS_PLUS"])
+    assert str(args.design) == "WS+"
+    args = parser.parse_args(["run", "fib", "--design", "WS+"])
+    assert str(args.design) == "WS+"
+
+
+def test_design_argument_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fib", "--design", "XX"])

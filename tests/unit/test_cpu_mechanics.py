@@ -1,0 +1,166 @@
+"""Core-model mechanics: accounting identity, WB-full stalls, batching
+equivalence, determinism, epoch guards."""
+
+import pytest
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+
+from tests.support import notes_of, run_threads, tiny_params
+
+
+def test_cycle_accounting_identity():
+    """Every accounted cycle is busy, fence stall or other stall, and
+    the per-core total is close to the core's active wall time."""
+    m = Machine(tiny_params(FenceDesign.S_PLUS, num_cores=1))
+    x, y = m.alloc.word(), m.alloc.word()
+
+    def t(ctx):
+        yield ops.Compute(400)
+        yield ops.Store(x, 1)
+        yield ops.Fence(FenceRole.CRITICAL)
+        yield ops.Load(y)
+        yield ops.Compute(100)
+
+    res = run_threads(m, t)
+    b = m.stats.breakdown[0]
+    assert b.busy > 0 and b.fence_stall > 0 and b.other_stall > 0
+    # the accounted time cannot exceed the simulated wall clock (plus
+    # the scheduling slack of the final continuation events)
+    assert b.total <= res.cycles + 10
+
+
+def test_instruction_counting():
+    m = Machine(tiny_params(num_cores=1))
+    x = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Compute(100)   # 100 instructions
+        yield ops.Store(x, 1)    # 1
+        yield ops.Load(x)        # 1 (forwarded)
+        yield ops.Fence()        # 1
+        yield ops.AtomicRMW(x, "add", 1)  # 1
+
+    run_threads(m, t)
+    assert m.stats.total_instructions == 104
+
+
+def test_write_buffer_full_stalls_the_core():
+    m = Machine(tiny_params(num_cores=1, write_buffer_entries=2))
+    words = [m.alloc.word() for _ in range(6)]
+
+    def t(ctx):
+        for w in words:
+            yield ops.Store(w, 1)  # cold stores: drain ~200cy each
+
+    run_threads(m, t)
+    assert m.stats.total_breakdown()["other_stall"] > 400
+    for w in words:
+        assert m.image.peek(w) == 1
+
+
+def test_batching_preserves_results():
+    """The micro-batch fast path may only change timing details, never
+    values or final memory state."""
+    def program(words):
+        def t(ctx):
+            acc = 0
+            for i, w in enumerate(words):
+                yield ops.Store(w, i + 1)
+                v = yield ops.Load(w)
+                acc += v
+                yield ops.Compute(7)
+            yield ops.Note(("acc", acc))
+        return t
+
+    results = {}
+    for batch in (0, 24):
+        m = Machine(tiny_params(num_cores=1, batch_cycles=batch))
+        words = [m.alloc.word() for _ in range(8)]
+        m.spawn(program(words))
+        m.run()
+        results[batch] = (notes_of(m, 0), [m.image.peek(w) for w in words])
+    assert results[0] == results[24]
+
+
+@pytest.mark.parametrize("design", [FenceDesign.S_PLUS, FenceDesign.W_PLUS])
+def test_same_seed_is_deterministic(design):
+    def run_once():
+        m = Machine(tiny_params(design, num_cores=2, exact=False), seed=42)
+        x, y = m.alloc.word(), m.alloc.word()
+
+        def t0(ctx):
+            for i in range(20):
+                yield ops.Store(x, i)
+                yield ops.Fence(FenceRole.CRITICAL)
+                yield ops.Load(y)
+                yield ops.Compute(ctx.rng.randrange(10, 60))
+
+        def t1(ctx):
+            for i in range(20):
+                yield ops.Store(y, i)
+                yield ops.Fence(FenceRole.STANDARD)
+                yield ops.Load(x)
+                yield ops.Compute(ctx.rng.randrange(10, 60))
+
+        m.spawn(t0)
+        m.spawn(t1)
+        res = m.run()
+        return res.cycles, m.stats.total_instructions, m.stats.bounces
+
+    assert run_once() == run_once()
+
+
+def test_note_payloads_in_program_order():
+    m = Machine(tiny_params(num_cores=1))
+
+    def t(ctx):
+        for i in range(5):
+            yield ops.Note(("i", i))
+            yield ops.Compute(10)
+
+    run_threads(m, t)
+    assert notes_of(m, 0) == [("i", i) for i in range(5)]
+
+
+def test_unknown_op_raises():
+    m = Machine(tiny_params(num_cores=1))
+
+    def t(ctx):
+        yield "not an op"
+
+    m.spawn(t)
+    with pytest.raises(TypeError):
+        m.run()
+
+
+def test_unknown_mark_kind_raises():
+    m = Machine(tiny_params(num_cores=1))
+
+    def t(ctx):
+        yield ops.Mark("bogus")
+
+    m.spawn(t)
+    with pytest.raises(ValueError):
+        m.run()
+
+
+def test_spawn_more_threads_than_cores_rejected():
+    from repro.common.errors import ConfigError
+    m = Machine(tiny_params(num_cores=1))
+    m.spawn(lambda ctx: iter(()))
+    with pytest.raises(ConfigError):
+        m.spawn(lambda ctx: iter(()))
+
+
+def test_txn_cycle_marks_measure_span():
+    m = Machine(tiny_params(num_cores=1))
+
+    def t(ctx):
+        yield ops.Mark("txn_cycles_begin")
+        yield ops.Compute(400)  # 100 cycles at issue width 4
+        yield ops.Mark("txn_cycles_end")
+
+    run_threads(m, t)
+    assert 90 <= m.stats.txn_cycles <= 140

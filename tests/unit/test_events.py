@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulatorError
+from repro.common.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(10, lambda: fired.append("b"))
+    q.schedule(5, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("c"))
+    q.run()
+    assert fired == ["a", "b", "c"]
+    assert q.now == 20
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(7, lambda i=i: fired.append(i))
+    q.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulatorError):
+        q.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    q = EventQueue()
+    fired = []
+    ev = q.schedule(5, lambda: fired.append("x"))
+    q.schedule(3, lambda: fired.append("y"))
+    ev.cancel()
+    q.run()
+    assert fired == ["y"]
+
+
+def test_events_scheduled_during_execution():
+    q = EventQueue()
+    fired = []
+
+    def first():
+        fired.append("first")
+        q.schedule(5, lambda: fired.append("nested"))
+
+    q.schedule(1, first)
+    q.run()
+    assert fired == ["first", "nested"]
+    assert q.now == 6
+
+
+def test_run_until_stops_clock_at_limit():
+    q = EventQueue()
+    fired = []
+    q.schedule(5, lambda: fired.append("a"))
+    q.schedule(50, lambda: fired.append("b"))
+    q.run(until=10)
+    assert fired == ["a"]
+    assert q.now == 10
+    q.run()
+    assert fired == ["a", "b"]
+
+
+def test_stop_when_predicate():
+    q = EventQueue()
+    count = []
+
+    def tick():
+        count.append(1)
+        q.schedule(1, tick)
+
+    q.schedule(0, tick)
+    q.run(stop_when=lambda: len(count) >= 3)
+    assert len(count) == 3
+
+
+def test_schedule_at_absolute_time():
+    q = EventQueue()
+    fired = []
+    q.schedule(3, lambda: q.schedule_at(10, lambda: fired.append(q.now)))
+    q.run()
+    assert fired == [10]
+
+
+def test_len_counts_pending_not_cancelled():
+    q = EventQueue()
+    e1 = q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    assert len(q) == 1
+
+
+def test_empty_and_peek():
+    q = EventQueue()
+    assert q.empty()
+    assert q.peek_time() is None
+    q.schedule(4, lambda: None)
+    assert not q.empty()
+    assert q.peek_time() == 4

@@ -1,0 +1,62 @@
+"""Unit tests for the coherent memory image."""
+
+from repro.mem.memory import INIT_TAG, MemoryImage
+
+
+def test_untouched_memory_reads_zero():
+    img = MemoryImage()
+    assert img.read(0x1000) == 0
+    assert img.last_writer(0x1000) == INIT_TAG
+
+
+def test_write_then_read():
+    img = MemoryImage()
+    tag = img.write(0x40, 7, core=2)
+    assert img.read(0x40) == 7
+    assert img.last_writer(0x40) == tag
+    assert tag[0] == 2
+
+
+def test_write_serials_are_monotone():
+    img = MemoryImage()
+    t1 = img.write(0x0, 1, core=0)
+    t2 = img.write(0x4, 2, core=1)
+    t3 = img.write(0x0, 3, core=0)
+    assert t1[1] < t2[1] < t3[1]
+
+
+def test_rmw_is_one_event():
+    img = MemoryImage()
+    img.write(0x8, 10, core=0)
+    old, new = img.rmw(0x8, lambda v: v + 5, core=1)
+    assert (old, new) == (10, 15)
+    assert img.read(0x8) == 15
+
+
+def test_observer_sees_loads_and_stores():
+    img = MemoryImage()
+    seen = []
+    img.observer = lambda *args: seen.append(args)
+    img.write(0x4, 9, core=1)
+    img.read(0x4, core=0)
+    kinds = [s[0] for s in seen]
+    assert kinds == ["store", "load"]
+    # the load reports the tag of the store it read
+    assert seen[1][4] == seen[0][4]
+
+
+def test_poke_peek_bypass_observer():
+    img = MemoryImage()
+    seen = []
+    img.observer = lambda *args: seen.append(args)
+    img.poke(0x4, 42)
+    assert img.peek(0x4) == 42
+    assert seen == []
+
+
+def test_len_counts_distinct_words():
+    img = MemoryImage()
+    img.write(0x0, 1)
+    img.write(0x0, 2)
+    img.write(0x4, 3)
+    assert len(img) == 2

@@ -1,0 +1,66 @@
+"""Unit tests for machine parameters and the fence-role mapping."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    FenceDesign,
+    FenceFlavour,
+    FenceRole,
+    MachineParams,
+    flavour_for,
+)
+
+
+def test_defaults_match_paper_table2():
+    p = MachineParams()
+    assert p.num_cores == 8
+    assert p.rob_entries == 140
+    assert p.write_buffer_entries == 64
+    assert p.words_per_line == 8
+    assert p.l1_sets == 256  # 32KB / (32B * 4 ways)
+
+
+def test_with_design_and_with_cores_are_copies():
+    p = MachineParams()
+    q = p.with_design(FenceDesign.W_PLUS)
+    assert q.fence_design is FenceDesign.W_PLUS
+    assert p.fence_design is FenceDesign.S_PLUS
+    r = p.with_cores(16)
+    assert r.num_cores == 16 and r.num_banks == 16
+    assert p.num_cores == 8
+
+
+@pytest.mark.parametrize("bad", [
+    dict(num_cores=0),
+    dict(line_bytes=30),
+    dict(issue_width=0),
+    dict(bs_entries=0),
+])
+def test_invalid_params_rejected(bad):
+    with pytest.raises(ConfigError):
+        MachineParams(**bad)
+
+
+def test_flavour_mapping_s_plus_all_strong():
+    for role in FenceRole:
+        assert flavour_for(FenceDesign.S_PLUS, role) is FenceFlavour.SF
+
+
+@pytest.mark.parametrize("design", [FenceDesign.WS_PLUS, FenceDesign.SW_PLUS])
+def test_flavour_mapping_asymmetric(design):
+    assert flavour_for(design, FenceRole.CRITICAL) is FenceFlavour.WF
+    assert flavour_for(design, FenceRole.STANDARD) is FenceFlavour.SF
+
+
+@pytest.mark.parametrize("design", [FenceDesign.W_PLUS, FenceDesign.WEE])
+def test_flavour_mapping_all_weak(design):
+    for role in FenceRole:
+        assert flavour_for(design, role) is FenceFlavour.WF
+
+
+def test_mesh_dim_grows_with_cores():
+    assert MachineParams(num_cores=1, num_banks=1).mesh_dim == 1
+    assert MachineParams(num_cores=4, num_banks=4).mesh_dim == 2
+    assert MachineParams(num_cores=8).mesh_dim == 3
+    assert MachineParams(num_cores=16, num_banks=16).mesh_dim == 4

@@ -1,0 +1,87 @@
+"""Unit tests for the Shasha–Snir dependence-graph checker."""
+
+import pytest
+
+from repro.common.errors import SCViolationError
+from repro.mem.memory import INIT_TAG
+from repro.sim.scv import (
+    AccessEvent,
+    assert_sequentially_consistent,
+    build_dependence_graph,
+    find_scv,
+)
+
+
+def ev(i, kind, core, word, tag, po, value=0):
+    return AccessEvent(i, kind, core, word, value, tag, po)
+
+
+def test_sequential_trace_is_sc():
+    # P0 writes x, P1 reads it afterwards
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "load", 1, 0x10, (0, 1), po=1),
+    ]
+    assert find_scv(events) is None
+    assert_sequentially_consistent(events)
+
+
+def test_store_buffering_cycle_detected():
+    # classic SB outcome (0,0): each load reads the initial value while
+    # the other core's store is po-earlier
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "load", 0, 0x20, INIT_TAG, po=2),
+        ev(2, "store", 1, 0x20, (1, 2), po=1),
+        ev(3, "load", 1, 0x10, INIT_TAG, po=2),
+    ]
+    cycle = find_scv(events)
+    assert cycle is not None
+    with pytest.raises(SCViolationError):
+        assert_sequentially_consistent(events)
+
+
+def test_sb_with_one_fresh_read_is_sc():
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "load", 0, 0x20, (1, 2), po=2),   # reads P1's store
+        ev(2, "store", 1, 0x20, (1, 2), po=1),
+        ev(3, "load", 1, 0x10, INIT_TAG, po=2),  # reads old x
+    ]
+    assert find_scv(events) is None
+
+
+def test_graph_edge_kinds():
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "store", 1, 0x10, (1, 2), po=1),
+        ev(2, "load", 0, 0x10, (0, 1), po=2),
+    ]
+    g = build_dependence_graph(events)
+    kinds = {d["kind"] for _u, _v, d in g.edges(data=True)}
+    # co (store order), po (within P0), fr (load -> co-later store)
+    assert {"co", "po", "fr"} <= kinds
+
+
+def test_rf_edge_cross_core_only():
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "load", 1, 0x10, (0, 1), po=1),
+        ev(2, "load", 0, 0x10, (0, 1), po=2),
+    ]
+    g = build_dependence_graph(events)
+    rf = [(u, v) for u, v, d in g.edges(data=True) if d["kind"] == "rf"]
+    assert rf == [(0, 1)]  # the same-core read is covered by po
+
+
+def test_three_thread_cycle_detected():
+    # P0: st x, ld y(old); P1: st y, ld z(old); P2: st z, ld x(old)
+    events = [
+        ev(0, "store", 0, 0x10, (0, 1), po=1),
+        ev(1, "load", 0, 0x20, INIT_TAG, po=2),
+        ev(2, "store", 1, 0x20, (1, 2), po=1),
+        ev(3, "load", 1, 0x30, INIT_TAG, po=2),
+        ev(4, "store", 2, 0x30, (2, 3), po=1),
+        ev(5, "load", 2, 0x10, INIT_TAG, po=2),
+    ]
+    assert find_scv(events) is not None

@@ -1,0 +1,67 @@
+"""Unit tests for statistics accounting."""
+
+from repro.common.stats import MachineStats
+
+
+def test_breakdown_accumulates_per_core():
+    s = MachineStats(2)
+    s.add_busy(0, 10)
+    s.add_fence_stall(0, 5)
+    s.add_other_stall(1, 3)
+    assert s.breakdown[0].total == 15
+    assert s.breakdown[1].total == 3
+    t = s.total_breakdown()
+    assert t == {"busy": 10, "fence_stall": 5, "other_stall": 3}
+    assert abs(s.fence_stall_fraction - 5 / 18) < 1e-12
+
+
+def test_per_kilo_inst_rates():
+    s = MachineStats(2)
+    s.instructions[0] = 1500
+    s.instructions[1] = 500
+    s.sf_executed[0] = 4
+    s.wf_executed[1] = 6
+    assert s.sf_per_kilo_inst == 2.0
+    assert s.wf_per_kilo_inst == 3.0
+
+
+def test_rates_safe_with_zero_denominators():
+    s = MachineStats(1)
+    assert s.sf_per_kilo_inst == 0.0
+    assert s.bounces_per_wf == 0.0
+    assert s.retries_per_bounced_write == 0.0
+    assert s.recoveries_per_wf == 0.0
+    assert s.traffic_increase_pct == 0.0
+    assert s.mean_bs_lines == 0.0
+
+
+def test_bounce_and_retry_rates():
+    s = MachineStats(1)
+    s.wf_executed[0] = 10
+    s.bounced_writes = 2
+    s.write_retries = 6
+    assert s.bounces_per_wf == 0.2
+    assert s.retries_per_bounced_write == 3.0
+
+
+def test_traffic_increase():
+    s = MachineStats(1)
+    s.network_bytes = 1100
+    s.retry_bytes = 100
+    assert abs(s.traffic_increase_pct - 10.0) < 1e-12
+
+
+def test_bs_occupancy_mean():
+    s = MachineStats(1)
+    for v in (2, 4, 6):
+        s.sample_bs_occupancy(v)
+    assert s.mean_bs_lines == 4.0
+
+
+def test_summary_keys_present():
+    s = MachineStats(1)
+    summary = s.summary()
+    for key in ("cycles", "busy", "fence_stall", "other_stall",
+                "sf_per_ki", "wf_per_ki", "bs_lines", "bounces_per_wf",
+                "recoveries_per_wf", "txn_commits", "tasks_executed"):
+        assert key in summary

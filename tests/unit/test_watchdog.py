@@ -1,0 +1,65 @@
+"""The global no-progress watchdog."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sim.machine import Machine
+
+from tests.support import run_threads, tiny_params
+
+
+def test_watchdog_silent_on_healthy_runs():
+    m = Machine(tiny_params(num_cores=2, watchdog_interval=500))
+    x = m.alloc.word()
+
+    def t(ctx):
+        for i in range(40):
+            yield ops.Store(x + 64 * (ctx.tid + 1), i)
+            yield ops.Compute(100)
+
+    res = run_threads(m, t, t)
+    assert res.completed
+
+
+def test_watchdog_tolerates_long_legitimate_stalls():
+    """A memory-latency stall is progress-free for ~200 cycles but the
+    default interval is far larger; no false positive."""
+    m = Machine(tiny_params(num_cores=1))
+    words = [m.alloc.word() for _ in range(20)]
+
+    def t(ctx):
+        for w in words:
+            yield ops.Load(w)  # cold misses back to back
+
+    res = run_threads(m, t)
+    assert res.completed
+
+
+def test_watchdog_reports_blocked_core_details():
+    with pytest.raises(DeadlockError) as exc:
+        from repro.workloads.litmus import store_buffering
+        store_buffering(
+            FenceDesign.W_PLUS,
+            roles=(FenceRole.CRITICAL, FenceRole.CRITICAL),
+            recovery=False,
+        )
+    message = str(exc.value)
+    assert "bouncing" in message or "BS holds" in message
+    assert exc.value.blocked_cores
+
+
+def test_watchdog_counts_drain_as_progress():
+    """A finished thread with a draining write buffer is progress, not
+    deadlock (regression: the watchdog once only looked at op counts)."""
+    m = Machine(tiny_params(num_cores=1, watchdog_interval=300))
+    words = [m.alloc.word() for _ in range(8)]
+
+    def t(ctx):
+        for w in words:
+            yield ops.Store(w, 1)  # thread ends with a full buffer
+
+    res = run_threads(m, t)
+    assert res.completed
+    assert all(m.image.peek(w) == 1 for w in words)
