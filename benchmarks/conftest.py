@@ -22,6 +22,12 @@ import pytest
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def pytest_collection_modifyitems(items):
+    """Every figure/table regeneration is a full experiment grid."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def bench_scale(default: float = 0.5) -> float:
     try:
         return float(os.environ.get("REPRO_SCALE", default))

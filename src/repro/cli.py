@@ -4,6 +4,7 @@ Commands
 --------
 ``run``      run one workload under one (or all) fence designs
 ``litmus``   run a litmus kernel across designs and report outcomes
+``verify``   schedule-exploration verification (SCV/deadlock hunting)
 ``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
 ``table``    regenerate one of the paper's tables (1, 2, 3, 4)
 ``list``     list registered workloads and designs
@@ -14,6 +15,7 @@ Examples::
     python -m repro run fib --design WS+ --cores 8 --scale 0.5
     python -m repro run TreeOverwrite --all-designs
     python -m repro litmus sb --design W+
+    python -m repro verify --designs all --budget 200
     python -m repro figure 9 --scale 0.5
     python -m repro table 4
 """
@@ -21,6 +23,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.common.params import FenceDesign, FenceRole
@@ -134,6 +137,43 @@ def cmd_litmus(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify.engine import (
+        DEFAULT_REPORT_PATH,
+        VerifyConfig,
+        run_verification,
+    )
+    from repro.verify.oracles import PAPER_DESIGNS
+
+    if args.designs.strip().lower() == "all":
+        designs = PAPER_DESIGNS
+    else:
+        try:
+            designs = tuple(
+                _design(name.strip())
+                for name in args.designs.split(",") if name.strip()
+            )
+        except argparse.ArgumentTypeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not designs:
+            print("no designs given", file=sys.stderr)
+            return 2
+    config = VerifyConfig(
+        budget=args.budget,
+        designs=designs,
+        seed=args.seed,
+        shape=args.shape,
+        shrink=not args.no_shrink,
+    )
+    out = args.out if args.out != "-" else None
+    report = run_verification(config, out_path=out)
+    print(report.summary())
+    if out is not None:
+        print(f"[report written to {out}]")
+    return 1 if report.violations else 0
+
+
 def cmd_figure(args) -> int:
     n = args.number
     if n == 8:
@@ -201,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lit.add_argument("--design", type=_design, default=None)
     p_lit.add_argument("--seed", type=int, default=1)
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="schedule-exploration verification (SCV/deadlock hunting)",
+    )
+    p_ver.add_argument(
+        "--designs", default="all",
+        help="'all' (the paper's five) or a comma list, e.g. 'S+,W+'",
+    )
+    p_ver.add_argument("--budget", type=int, default=200,
+                       help="total simulator runs to spend")
+    p_ver.add_argument("--seed", type=int, default=12345)
+    p_ver.add_argument("--shape", default=None,
+                       choices=("sb", "mp", "iriw", "random"),
+                       help="restrict generation to one program shape")
+    p_ver.add_argument("--no-shrink", action="store_true",
+                       help="skip minimizing the first SCV finding")
+    p_ver.add_argument(
+        "--out", default="benchmarks/out/verify_report.json",
+        help="JSON report path ('-' to skip writing)",
+    )
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=0.5)
@@ -219,10 +280,17 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "litmus": cmd_litmus,
+        "verify": cmd_verify,
         "figure": cmd_figure,
         "table": cmd_table,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `... | head`); not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

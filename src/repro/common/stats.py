@@ -53,6 +53,9 @@ class MachineStats:
         self.bs_occupancy_samples: List[int] = []
         self.bs_insertions = 0
         self.bs_overflow_stalls = 0
+        #: post-fence loads replayed because an invalidation raced the
+        #: load's BS insertion (the line vanished while it was in flight).
+        self.load_replays = 0
         #: external write transactions rejected by some BS.
         self.bounces = 0
         #: retries issued by bounced writers (a write bounced N times

@@ -176,12 +176,16 @@ class Core:
                 elapsed += self._issue_slot
             elif isinstance(op, isa.Load):
                 word = self.amap.word_of(op.addr)
-                fwd = self.wb.forward(word)
+                # with a fence outstanding the slow path decides
+                # stall-vs-BS-tracked-forward; no fast path applies
+                fwd = (self.wb.forward_entry(word)
+                       if not self.pending_fences else None)
                 if fwd is not None:
                     self.stats.instructions[self.core_id] += 1
                     self.stats.add_busy(self.core_id, self._issue_slot)
                     elapsed += 1.0  # store-to-load forwarding latency
-                    result = fwd
+                    self._note_forwarded(fwd, self.thread.ops_committed)
+                    result = fwd.value
                 elif not self.pending_fences and \
                         self.l1.cache.lookup(self.amap.line_of(op.addr)) is not None:
                     # L1 hit with no fence outstanding: fully pipelined
@@ -265,6 +269,15 @@ class Core:
         recorder = self.machine.recorder
         if recorder is not None:
             recorder.note_po(self.core_id, po)
+
+    def _note_forwarded(self, entry: StoreEntry, po: int) -> None:
+        """Report a write-buffer-forwarded load to the SCV recorder;
+        forwarded loads never reach the memory image observer."""
+        recorder = self.machine.recorder
+        if recorder is not None:
+            recorder.note_forwarded(
+                self.core_id, po, entry.word, entry.value, entry.po
+            )
 
     def _retire_store(self, op: isa.Store) -> None:
         word = self.amap.word_of(op.addr)
@@ -384,15 +397,33 @@ class Core:
 
     def _exec_load(self, op: isa.Load) -> None:
         word = self.amap.word_of(op.addr)
-        fwd = self.wb.forward(word)
-        if fwd is not None:
-            self.stats.instructions[self.core_id] += 1
-            self.stats.add_busy(self.core_id, self._issue_slot)
-            self._later(1.0, lambda: self._advance(fwd))
-            return
         reason = self.policy.load_stall_check(op.addr)
         if reason is not None:
+            # an sf blocks later loads outright — forwarding past an
+            # incomplete fence would leak the load ahead of the drain
             self._stall_load(lambda: self._exec_load(op))
+            return
+        fwd = self.wb.forward_entry(word)
+        if fwd is not None:
+            if self.pending_fences:
+                # a forwarded post-wf load completes early like any
+                # other: its line must enter the BS so conflicting
+                # remote writes bounce until the group completes
+                line = self.amap.line_of(word)
+                if self.bs.full and not self.bs.match_line(line):
+                    self.stats.bs_overflow_stalls += 1
+                    self._stall_load(lambda: self._exec_load(op))
+                    return
+                self.bs.add(
+                    line,
+                    self.amap.word_mask(word),
+                    self.pending_fences[-1].fence_id,
+                )
+                self.stats.bs_insertions += 1
+            self.stats.instructions[self.core_id] += 1
+            self.stats.add_busy(self.core_id, self._issue_slot)
+            self._note_forwarded(fwd, self.thread.ops_committed)
+            self._later(1.0, lambda: self._advance(fwd.value))
             return
         t0 = self.queue.now
         po = self.thread.ops_committed
@@ -411,6 +442,15 @@ class Core:
     def _load_performed(self, op: isa.Load, word: int, po: int) -> None:
         """The load's data is back; retire it (BS insertion if post-wf)."""
         if self.pending_fences:
+            if self.l1.cache.lookup(self.amap.line_of(word), touch=False) is None:
+                # an invalidation landed between the load reading the
+                # line and the BS insertion becoming visible.  The L1
+                # port serializes those in hardware; model it by
+                # replaying the load (it re-fetches, and the refetched
+                # line enters the BS before any later INV can hit it).
+                self.stats.load_replays += 1
+                self._exec_load(op)
+                return
             if self.bs.full and not self.bs.match_line(self.amap.line_of(word)):
                 # cannot track another line: the load waits for a fence
                 # to complete and clear BS space (WeeFence behaviour).

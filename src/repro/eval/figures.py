@@ -83,6 +83,7 @@ def _time_breakdown_data(
     return {
         "group": group,
         "apps": names,
+        "seed": seed,
         "entries": entries,
         "avg_normalized_time": {
             d: report.mean(v) for d, v in averages.items()
@@ -172,6 +173,7 @@ def fig9_fig10_ustm(scale: float = 1.0, num_cores: int = 8,
             txn_ratio[str(design)].append(norm)
     return {
         "apps": names,
+        "seed": seed,
         "throughput_entries": tput_entries,
         "txn_entries": txn_entries,
         "avg_throughput_ratio": {
@@ -257,7 +259,7 @@ def fig12_scalability(scale: float = 1.0, seed: int = 12345,
                     "stall_ratio": report.mean(ratios),
                 })
     return {"series": series, "core_counts": list(core_counts),
-            "groups": list(groups)}
+            "groups": list(groups), "seed": seed}
 
 
 def render_fig12(data: dict) -> str:

@@ -33,6 +33,9 @@ class RunSummary:
     busy: float
     fence_stall: float
     other_stall: float
+    #: machine seed the run used — reports carry it so any row can be
+    #: reproduced exactly from the report alone
+    seed: int = 0
     #: flat stats (MachineStats.summary())
     stats: Dict[str, float] = field(default_factory=dict)
 
@@ -75,6 +78,7 @@ def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
         num_cores=num_cores,
         cycles=run.cycles,
         completed=run.result.completed,
+        seed=seed,
         busy=breakdown["busy"],
         fence_stall=breakdown["fence_stall"],
         other_stall=breakdown["other_stall"],

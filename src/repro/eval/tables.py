@@ -117,7 +117,7 @@ def table4_characterization(scale: float = 1.0, num_cores: int = 8,
             "wee_wf_per_ki": _agg(wee, "wf_per_ki"),
             "wee_bs_lines": _agg(wee, "bs_lines"),
         })
-    return {"rows": rows, "apps": apps}
+    return {"rows": rows, "apps": apps, "seed": seed}
 
 
 def render_table4(data: dict) -> str:

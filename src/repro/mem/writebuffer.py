@@ -79,9 +79,15 @@ class WriteBuffer:
 
     def forward(self, word: int) -> Optional[int]:
         """Value of the newest buffered store to *word*, if any."""
+        entry = self.forward_entry(word)
+        return entry.value if entry is not None else None
+
+    def forward_entry(self, word: int) -> Optional[StoreEntry]:
+        """Newest buffered entry to *word* (the forwarding source), if
+        any — callers that record dependences need the entry's po."""
         for entry in reversed(self._entries):
             if entry.word == word:
-                return entry.value
+                return entry
         return None
 
     def has_word(self, word: int) -> bool:

@@ -16,10 +16,13 @@ union is acyclic.  With fences placed per the paper's recipes the
 workloads must stay acyclic; remove the fences and the classic
 store-buffering cycle appears (the litmus tests assert both).
 
-Limitations (documented): loads satisfied by the core's own write
-buffer bypass the image and are not recorded — the litmus kernels avoid
-same-address store→load sequences, and forwarded reads can only
-*strengthen* po locality, never create a new inter-thread edge.
+Loads satisfied by the core's own write buffer bypass the image; the
+core reports them explicitly (:meth:`DependenceRecorder.note_forwarded`)
+so they still appear as po-ordered accesses.  A forwarded load carries a
+provisional ``("fwd", core, store_po)`` tag that graph construction
+resolves to the source store's real write tag once that store has merged
+(it is recorded with the same program-order index), which recovers the
+load's fr edge to the store's coherence successor.
 Enable recording only for small runs (``track_dependences=True``); the
 graph is O(accesses).
 """
@@ -44,8 +47,10 @@ class AccessEvent:
     core: int
     word: int
     value: int
-    #: for loads: the tag of the write read; for stores: their own tag
-    tag: WriteTag
+    #: for loads: the tag of the write read; for stores: their own tag;
+    #: for write-buffer-forwarded loads: a provisional ("fwd", core,
+    #: store_po) triple resolved during graph construction
+    tag: tuple
     po: int
 
 
@@ -61,6 +66,25 @@ class DependenceRecorder:
     def note_po(self, core: int, po: int) -> None:
         """Called by the core/L1 immediately before an image access."""
         self._pending_po[core] = po
+
+    def note_forwarded(
+        self, core: int, po: int, word: int, value: int, store_po: int
+    ) -> None:
+        """Record a load satisfied by *core*'s own write buffer.
+
+        Forwarded loads never touch the memory image, so the observer
+        hook cannot see them; the core reports them here.  *store_po*
+        is the program-order index of the buffered store that supplied
+        the value — once that store merges (and is recorded with the
+        same po) graph construction resolves this event's provisional
+        tag to the store's real write tag.
+        """
+        self.events.append(
+            AccessEvent(
+                len(self.events), "load", core, word, value,
+                ("fwd", core, store_po), po,
+            )
+        )
 
     def _observe(
         self, kind: str, core: int, word: int, value: int, tag: WriteTag
@@ -123,20 +147,36 @@ def build_dependence_graph(events: List[AccessEvent]) -> nx.DiGraph:
             g.add_edge(a.index, b.index, kind="co")
             co_next[a.tag] = b
 
+    # resolve write-buffer-forwarded loads to the tag of the store
+    # that supplied their value (recorded with the same core and po
+    # when it merged); an unresolved tag (store squashed before
+    # merging) contributes po edges only
+    store_by_po = {
+        (ev.core, ev.po): ev for ev in events if ev.kind == "store"
+    }
+
+    def load_tag(ev: AccessEvent):
+        tag = ev.tag
+        if len(tag) == 3 and tag[0] == "fwd":
+            src = store_by_po.get((tag[1], tag[2]))
+            return src.tag if src is not None else tag
+        return tag
+
     # rf and fr
     for ev in events:
         if ev.kind != "load":
             continue
-        writer = store_by_tag.get(ev.tag)
+        tag = load_tag(ev)
+        writer = store_by_tag.get(tag)
         if writer is not None and writer.core != ev.core:
             g.add_edge(writer.index, ev.index, kind="rf")
         # fr: the load happens before the co-successor of what it read
-        if ev.tag == INIT_TAG:
+        if tag == INIT_TAG:
             stores = stores_by_word.get(ev.word, ())
             if stores:
                 g.add_edge(ev.index, stores[0].index, kind="fr")
         else:
-            succ = co_next.get(ev.tag)
+            succ = co_next.get(tag)
             if succ is not None and succ.core != ev.core:
                 g.add_edge(ev.index, succ.index, kind="fr")
     return g

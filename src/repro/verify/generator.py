@@ -1,0 +1,237 @@
+"""Randomized litmus-program generation.
+
+A :class:`LitmusProgram` is 2–4 per-thread lists of
+:mod:`repro.core.isa` operations whose addresses are *symbolic
+variable indices* (0, 1, 2, ...); the oracle runner maps each variable
+to a freshly allocated simulated word before spawning the threads.
+
+Shapes
+------
+``sb``     N-thread store-buffering ring (paper Fig. 1d/1e): thread *i*
+           stores variable *i*, fences, loads variable *i+1 mod N*.
+           The only shape whose fence-stripped version admits an SCV
+           cycle under TSO (store→load reordering).
+``mp``     message passing: producer stores data then flag, consumer
+           loads flag then data.  TSO keeps both orders even without
+           fences — a sanity shape.
+``iriw``   independent reads of independent writes: two writers, two
+           readers scanning in opposite orders.  Forbidden outcomes
+           need non-multi-copy-atomic stores, which TSO (and this
+           simulator's single memory image) never produces.
+``random`` random loads/stores/computes over a small variable pool,
+           with a fence inserted at every store→load transition (the
+           Shasha–Snir full-fencing recipe, which restores SC under
+           any correct design).
+
+Fence-role discipline: every generated program carries **at most one**
+``CRITICAL`` thread so the same program is correctly fenced under
+every design — WS+/SW+ require at most one wf per fence group (paper
+§3.3.1/§3.3.2), while S+, W+ and Wee accept any assignment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.common.params import FenceRole
+from repro.core import isa as ops
+
+#: shapes the generator can emit
+SHAPES = ("sb", "mp", "iriw", "random")
+
+#: shapes whose fence-stripped variant can exhibit an SCV under TSO
+RACY_SHAPES = frozenset({"sb"})
+
+
+@dataclass(frozen=True)
+class LitmusProgram:
+    """A symbolic litmus program (addresses are variable indices)."""
+
+    name: str
+    shape: str
+    #: number of shared variables; the runner allocates one simulated
+    #: word per variable, each on its own cache line
+    num_vars: int
+    #: per-thread op lists over symbolic addresses
+    threads: Tuple[Tuple[object, ...], ...]
+    #: variable indices the runner pre-warms into every L1 (shared
+    #: variables; pads stay cold so fences stay incomplete for a while)
+    warm_vars: Tuple[int, ...] = ()
+    #: generator seed that produced this program (report reproducibility)
+    seed: int = 0
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    @property
+    def has_fences(self) -> bool:
+        return any(
+            isinstance(op, ops.Fence) for t in self.threads for op in t
+        )
+
+    def stripped(self) -> "LitmusProgram":
+        """Copy with every fence removed (the SCV-hunting variant)."""
+        return replace(
+            self,
+            name=f"{self.name}-nofence",
+            threads=tuple(
+                tuple(op for op in t if not isinstance(op, ops.Fence))
+                for t in self.threads
+            ),
+        )
+
+    def with_threads(self, threads) -> "LitmusProgram":
+        return replace(
+            self, threads=tuple(tuple(t) for t in threads)
+        )
+
+    def describe(self) -> List[List[str]]:
+        """Readable per-thread op listing for reports."""
+        return [[_op_str(op) for op in t] for t in self.threads]
+
+
+def _op_str(op) -> str:
+    if isinstance(op, ops.Store):
+        return f"St v{op.addr}={op.value}"
+    if isinstance(op, ops.Load):
+        return f"Ld v{op.addr}"
+    if isinstance(op, ops.Fence):
+        return f"Fence({op.role.value})"
+    if isinstance(op, ops.Compute):
+        return f"Compute({op.instructions})"
+    return repr(op)
+
+
+def _roles(rng: random.Random, n: int) -> List[FenceRole]:
+    """Role assignment with at most one CRITICAL thread."""
+    roles = [FenceRole.STANDARD] * n
+    critical = rng.randrange(n + 1)  # n = no critical thread at all
+    if critical < n:
+        roles[critical] = FenceRole.CRITICAL
+    return roles
+
+
+def _sb(rng: random.Random, seed: int) -> LitmusProgram:
+    """N-thread store-buffering ring with cold pad stores."""
+    n = rng.choice((2, 2, 3, 4))  # bias to the classic 2-thread shape
+    pad_stores = rng.choice((0, 1, 2))
+    roles = _roles(rng, n)
+    # shared ring variables 0..n-1; pads n..n-1+n*pad_stores stay cold
+    threads = []
+    pad = n
+    for i in range(n):
+        body: List[object] = []
+        for _ in range(pad_stores):
+            body.append(ops.Store(pad, 7))
+            pad += 1
+        body.append(ops.Store(i, 1))
+        body.append(ops.Fence(roles[i]))
+        body.append(ops.Load((i + 1) % n))
+        threads.append(tuple(body))
+    return LitmusProgram(
+        name=f"sb{n}-p{pad_stores}-s{seed}",
+        shape="sb",
+        num_vars=pad,
+        threads=tuple(threads),
+        warm_vars=tuple(range(n)),
+        seed=seed,
+    )
+
+
+def _mp(rng: random.Random, seed: int) -> LitmusProgram:
+    roles = _roles(rng, 2)
+    producer = (
+        ops.Store(0, 42),
+        ops.Fence(roles[0]),
+        ops.Store(1, 1),
+    )
+    consumer = (
+        ops.Load(1),
+        ops.Fence(roles[1]),
+        ops.Load(0),
+    )
+    return LitmusProgram(
+        name=f"mp-s{seed}",
+        shape="mp",
+        num_vars=2,
+        threads=(producer, consumer),
+        warm_vars=(0, 1),
+        seed=seed,
+    )
+
+
+def _iriw(rng: random.Random, seed: int) -> LitmusProgram:
+    roles = _roles(rng, 4)
+    threads = (
+        (ops.Store(0, 1),),
+        (ops.Store(1, 1),),
+        (ops.Load(0), ops.Fence(roles[2]), ops.Load(1)),
+        (ops.Load(1), ops.Fence(roles[3]), ops.Load(0)),
+    )
+    return LitmusProgram(
+        name=f"iriw-s{seed}",
+        shape="iriw",
+        num_vars=2,
+        threads=threads,
+        warm_vars=(0, 1),
+        seed=seed,
+    )
+
+
+def _random(rng: random.Random, seed: int) -> LitmusProgram:
+    """Random accesses, fully fenced at every store→load boundary."""
+    n = rng.choice((2, 3, 4))
+    num_vars = rng.choice((2, 3, 4))
+    roles = _roles(rng, n)
+    threads = []
+    for i in range(n):
+        body: List[object] = []
+        pending_store = False
+        for _ in range(rng.randrange(3, 8)):
+            kind = rng.random()
+            if kind < 0.45:
+                body.append(ops.Store(rng.randrange(num_vars),
+                                      rng.randrange(1, 100)))
+                pending_store = True
+            elif kind < 0.85:
+                if pending_store:
+                    # full fencing: no load may bypass a buffered store
+                    body.append(ops.Fence(roles[i]))
+                    pending_store = False
+                body.append(ops.Load(rng.randrange(num_vars)))
+            else:
+                body.append(ops.Compute(rng.choice((8, 40, 120))))
+        threads.append(tuple(body))
+    return LitmusProgram(
+        name=f"rand{n}v{num_vars}-s{seed}",
+        shape="random",
+        num_vars=num_vars,
+        threads=tuple(threads),
+        warm_vars=tuple(range(num_vars)),
+        seed=seed,
+    )
+
+
+_BUILDERS = {"sb": _sb, "mp": _mp, "iriw": _iriw, "random": _random}
+
+
+def generate_program(
+    seed: int, shape: Optional[str] = None
+) -> LitmusProgram:
+    """One reproducible program; *shape* picks a builder (default: a
+    seed-determined mix biased toward the racy ``sb`` shape)."""
+    rng = random.Random(seed)
+    if shape is None:
+        shape = rng.choice(("sb", "sb", "mp", "iriw", "random", "random"))
+    if shape not in _BUILDERS:
+        raise ValueError(
+            f"unknown shape {shape!r}; choose from {sorted(_BUILDERS)}"
+        )
+    return _BUILDERS[shape](rng, seed)

@@ -1,0 +1,103 @@
+"""Schedule perturbation: force different interleavings of one program.
+
+The simulator is deterministic for a fixed ``(MachineParams, seed)``,
+so exploring schedules means sweeping the machine knobs that move the
+relative timing of stores, fences and loads:
+
+* the machine **seed** (thread RNG streams),
+* **NoC hop latency** (how long coherence transactions stay in flight),
+* **write-buffer depth** (how many pre-fence stores can pile up),
+* **BS capacity** (when post-fence loads start stalling), and
+* the **bounce retry back-off** (the cadence of fence-group collisions).
+
+Each :class:`SchedulePoint` is one concrete assignment; the verifier
+runs every program × design under several points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, List
+
+from repro.common.params import FenceDesign, MachineParams
+
+#: watchdog period for verification runs: small enough that a genuine
+#: deadlock surfaces in milliseconds of host time, large enough that a
+#: cold-miss burst (~200 cycles) can never trip it.
+VERIFY_WATCHDOG_INTERVAL = 5_000
+
+#: hard cycle cap per verification run (a litmus program finishes in a
+#: few thousand cycles; hitting the cap means livelock).
+VERIFY_MAX_CYCLES = 200_000
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One point of the schedule-exploration sweep."""
+
+    seed: int = 1
+    mesh_hop_cycles: int = 5
+    write_buffer_entries: int = 64
+    bs_entries: int = 32
+    bounce_retry_cycles: int = 20
+
+    def params(
+        self, design: FenceDesign, num_cores: int, recovery: bool = True
+    ) -> MachineParams:
+        """Interleaving-exact machine parameters for this point."""
+        base = MachineParams(
+            num_cores=num_cores,
+            num_banks=num_cores,
+            batch_cycles=0,
+            track_dependences=True,
+            mesh_hop_cycles=self.mesh_hop_cycles,
+            write_buffer_entries=self.write_buffer_entries,
+            bs_entries=self.bs_entries,
+            bounce_retry_cycles=self.bounce_retry_cycles,
+            watchdog_interval=VERIFY_WATCHDOG_INTERVAL,
+            max_cycles=VERIFY_MAX_CYCLES,
+        ).with_design(design)
+        return replace(base, wplus_recovery_enabled=recovery)
+
+
+#: the sweep axes (kept small: values are multiplied by seeds × designs)
+HOP_CYCLES = (2, 5, 11)
+WB_DEPTHS = (2, 8, 64)
+BS_CAPS = (1, 4, 32)
+RETRY_CYCLES = (6, 20, 45)
+
+#: the paper's default timing, always explored first
+DEFAULT_POINT = SchedulePoint()
+
+
+def schedule_points(seed: int, count: int) -> List[SchedulePoint]:
+    """*count* reproducible points: the default timing first, then a
+    random walk over the sweep axes with distinct machine seeds."""
+    rng = random.Random(seed)
+    points = [DEFAULT_POINT]
+    while len(points) < count:
+        points.append(
+            SchedulePoint(
+                seed=rng.randrange(1, 1_000_000),
+                mesh_hop_cycles=rng.choice(HOP_CYCLES),
+                write_buffer_entries=rng.choice(WB_DEPTHS),
+                bs_entries=rng.choice(BS_CAPS),
+                bounce_retry_cycles=rng.choice(RETRY_CYCLES),
+            )
+        )
+    return points[:count]
+
+
+def iter_points(seed: int) -> Iterator[SchedulePoint]:
+    """Endless stream of schedule points (budget-bounded callers)."""
+    rng = random.Random(seed)
+    yield DEFAULT_POINT
+    while True:
+        yield SchedulePoint(
+            seed=rng.randrange(1, 1_000_000),
+            mesh_hop_cycles=rng.choice(HOP_CYCLES),
+            write_buffer_entries=rng.choice(WB_DEPTHS),
+            bs_entries=rng.choice(BS_CAPS),
+            bounce_retry_cycles=rng.choice(RETRY_CYCLES),
+        )

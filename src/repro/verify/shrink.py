@@ -1,0 +1,90 @@
+"""Failure minimization: shrink a violating program to its kernel.
+
+Greedy one-op-at-a-time delta debugging (a ddmin variant): repeatedly
+try deleting each op (and then each whole thread) and keep every
+deletion under which the *property* — "this program still reproduces
+the violation" — holds.  The fixpoint is 1-minimal: removing any
+single remaining op loses the violation.
+
+Deterministic by construction: the property re-runs the simulator at
+the same schedule point, and the simulator is deterministic for a
+fixed (params, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.verify.generator import LitmusProgram
+
+
+class ShrinkResult:
+    """Outcome of one shrink loop."""
+
+    def __init__(self, program: LitmusProgram, runs_used: int,
+                 converged: bool):
+        self.program = program
+        self.runs_used = runs_used
+        self.converged = converged
+
+
+def shrink_program(
+    program: LitmusProgram,
+    still_fails: Callable[[LitmusProgram], bool],
+    max_runs: int = 400,
+) -> ShrinkResult:
+    """Minimize *program* while ``still_fails(candidate)`` holds.
+
+    *still_fails* must be True for *program* itself (the caller
+    verified the violation); *max_runs* bounds the number of property
+    evaluations so a flaky property cannot loop forever.
+    """
+    current = program
+    runs = 0
+
+    def attempt(candidate: LitmusProgram) -> bool:
+        nonlocal runs
+        runs += 1
+        return still_fails(candidate)
+
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        # pass 1: drop single ops, newest-first within each thread so
+        # trailing noise (computes, extra loads) goes quickly
+        for tid in range(current.num_threads):
+            body = list(current.threads[tid])
+            i = len(body) - 1
+            while i >= 0 and runs < max_runs:
+                trial = body[:i] + body[i + 1:]
+                threads = [list(t) for t in current.threads]
+                threads[tid] = trial
+                candidate = current.with_threads(threads)
+                if attempt(candidate):
+                    current = candidate
+                    body = trial
+                    changed = True
+                i -= 1
+        # pass 2: drop entire (possibly emptied) threads
+        if current.num_threads > 2:
+            for tid in range(current.num_threads - 1, -1, -1):
+                if runs >= max_runs or current.num_threads <= 2:
+                    break
+                threads = [
+                    list(t) for j, t in enumerate(current.threads)
+                    if j != tid
+                ]
+                candidate = current.with_threads(threads)
+                if attempt(candidate):
+                    current = candidate
+                    changed = True
+        else:
+            # 2-thread programs: still prune threads that went empty
+            if any(not t for t in current.threads):
+                threads = [list(t) for t in current.threads if t]
+                if len(threads) >= 1:
+                    candidate = current.with_threads(threads)
+                    if runs < max_runs and attempt(candidate):
+                        current = candidate
+                        changed = True
+    return ShrinkResult(current, runs, runs < max_runs)

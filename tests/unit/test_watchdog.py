@@ -50,6 +50,67 @@ def test_watchdog_reports_blocked_core_details():
     assert exc.value.blocked_cores
 
 
+def _all_wf_deadlock_machine(recovery: bool, interval: int = 2000):
+    """A real W+ all-wf fence-group collision (paper Fig. 3a): both
+    threads' pre-fence writes bounce off the other core's Bypass Set.
+    With ``recovery=False`` (the naive design) the machine deadlocks;
+    with recovery enabled W+ rolls back and completes."""
+    m = Machine(tiny_params(
+        design=FenceDesign.W_PLUS, num_cores=2,
+        watchdog_interval=interval,
+        wplus_recovery_enabled=recovery,
+    ))
+    x, y = m.alloc.word(), m.alloc.word()
+    pads = [m.alloc.word() for _ in range(2)]
+
+    def thread(me, mine, other):
+        def fn(ctx):
+            yield ops.Load(x)
+            yield ops.Load(y)
+            yield ops.Compute(1600)       # align after warmup
+            yield ops.Store(pads[me], 7)  # cold pad keeps the wf open
+            yield ops.Store(mine, 1)
+            yield ops.Fence(FenceRole.CRITICAL)
+            yield ops.Load(other)
+        return fn
+
+    m.spawn(thread(0, x, y))
+    m.spawn(thread(1, y, x))
+    return m
+
+
+def test_watchdog_fires_within_its_interval():
+    """Once progress stops, at most two watchdog periods may elapse
+    before the error surfaces (one to sample, one to confirm)."""
+    interval = 2000
+    m = _all_wf_deadlock_machine(recovery=False, interval=interval)
+    with pytest.raises(DeadlockError):
+        m.run()
+    # warmup ends well under one interval; the deadlock forms right
+    # after, so the run must die within a few periods of its start
+    assert m.queue.now <= 4 * interval
+
+
+def test_watchdog_describe_names_the_bouncing_cores():
+    m = _all_wf_deadlock_machine(recovery=False)
+    with pytest.raises(DeadlockError) as exc:
+        m.run()
+    message = str(exc.value)
+    assert "P0[" in message and "P1[" in message
+    assert "store bouncing" in message
+    assert sorted(exc.value.blocked_cores) == [0, 1]
+
+
+def test_recovery_counters_increment_instead_of_deadlock():
+    """Same collision, recovery on: the watchdog stays silent and the
+    MachineStats recovery counters record the rollback."""
+    m = _all_wf_deadlock_machine(recovery=True)
+    result = m.run()
+    assert result.completed
+    assert m.stats.wplus_timeouts >= 1
+    assert m.stats.wplus_recoveries >= 1
+
+
 def test_watchdog_counts_drain_as_progress():
     """A finished thread with a draining write buffer is progress, not
     deadlock (regression: the watchdog once only looked at op counts)."""

@@ -1,0 +1,32 @@
+"""The ``repro verify`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_verify_cli_writes_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = main(["verify", "--designs", "S+,W+", "--budget", "20",
+               "--seed", "7", "--out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "verify: 20 runs" in text
+    assert "verdict: OK" in text
+    data = json.loads(out.read_text())
+    assert data["runs"] == 20
+    assert data["config"]["designs"] == ["S+", "W+"]
+
+
+def test_verify_cli_all_designs_no_report(capsys):
+    rc = main(["verify", "--budget", "12", "--no-shrink", "--out", "-"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "S+" in text and "Wee" in text
+    assert "[report written" not in text
+
+
+def test_verify_cli_rejects_unknown_design(capsys):
+    rc = main(["verify", "--designs", "nope", "--budget", "5"])
+    assert rc == 2
+    assert "unknown design" in capsys.readouterr().err

@@ -1,0 +1,92 @@
+"""The litmus-program generator: shapes, determinism, fence discipline."""
+
+import pytest
+
+from repro.common.params import FenceRole
+from repro.core import isa as ops
+from repro.verify.generator import (
+    RACY_SHAPES,
+    SHAPES,
+    generate_program,
+)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_every_shape_builds(shape):
+    prog = generate_program(1, shape=shape)
+    assert prog.shape == shape
+    assert 2 <= prog.num_threads <= 4
+    assert prog.op_count > 0
+    assert prog.num_vars >= 1
+
+
+def test_generation_is_deterministic():
+    a = generate_program(42)
+    b = generate_program(42)
+    assert a == b
+    assert generate_program(43) != a
+
+
+def test_at_most_one_critical_thread():
+    """WS+/SW+ support at most one wf per group; the generator must
+    never assign two CRITICAL roles (that would be a *misused* group
+    whose SCV is the paper's documented caveat, not a bug)."""
+    for seed in range(60):
+        prog = generate_program(seed)
+        critical_threads = sum(
+            1 for t in prog.threads
+            if any(isinstance(op, ops.Fence)
+                   and op.role is FenceRole.CRITICAL for op in t)
+        )
+        assert critical_threads <= 1, prog.name
+
+
+def test_random_shape_fully_fenced():
+    """Full-fencing recipe: in the random shape no load may follow a
+    store without an intervening fence (Shasha–Snir SC recovery)."""
+    for seed in range(40):
+        prog = generate_program(seed, shape="random")
+        for body in prog.threads:
+            pending_store = False
+            for op in body:
+                if isinstance(op, ops.Store):
+                    pending_store = True
+                elif isinstance(op, ops.Fence):
+                    pending_store = False
+                elif isinstance(op, ops.Load):
+                    assert not pending_store, prog.name
+
+
+def test_stripped_removes_all_fences():
+    prog = generate_program(5, shape="sb")
+    assert prog.has_fences
+    bare = prog.stripped()
+    assert not bare.has_fences
+    assert bare.op_count < prog.op_count
+    assert bare.shape in RACY_SHAPES
+    # non-fence ops survive unchanged, in order
+    for orig, strip in zip(prog.threads, bare.threads):
+        assert [o for o in orig if not isinstance(o, ops.Fence)] == list(strip)
+
+
+def test_sb_shape_is_a_ring():
+    prog = generate_program(9, shape="sb")
+    n = prog.num_threads
+    for i, body in enumerate(prog.threads):
+        stores = [op for op in body if isinstance(op, ops.Store)]
+        loads = [op for op in body if isinstance(op, ops.Load)]
+        assert stores[-1].addr == i          # own ring variable last
+        assert loads == [ops.Load((i + 1) % n)]
+
+
+def test_describe_is_readable():
+    prog = generate_program(3, shape="mp")
+    listing = prog.describe()
+    assert len(listing) == 2
+    assert any("St v0=42" in op for op in listing[0])
+    assert any(op.startswith("Fence(") for op in listing[0])
+
+
+def test_unknown_shape_rejected():
+    with pytest.raises(ValueError):
+        generate_program(1, shape="bogus")

@@ -1,0 +1,46 @@
+"""Schedule perturbation: reproducible sweeps, parameter plumbing."""
+
+from repro.common.params import FenceDesign
+from repro.verify.perturb import (
+    DEFAULT_POINT,
+    VERIFY_MAX_CYCLES,
+    VERIFY_WATCHDOG_INTERVAL,
+    SchedulePoint,
+    schedule_points,
+)
+
+
+def test_points_are_reproducible():
+    assert schedule_points(7, 10) == schedule_points(7, 10)
+    assert schedule_points(7, 10) != schedule_points(8, 10)
+
+
+def test_default_timing_explored_first():
+    points = schedule_points(1, 4)
+    assert points[0] == DEFAULT_POINT
+    assert len(points) == 4
+    # the sweep actually moves the knobs
+    assert len({p.seed for p in points}) > 1
+
+
+def test_point_builds_interleaving_exact_params():
+    point = SchedulePoint(seed=3, mesh_hop_cycles=11,
+                          write_buffer_entries=8, bs_entries=4,
+                          bounce_retry_cycles=45)
+    params = point.params(FenceDesign.W_PLUS, num_cores=3)
+    assert params.fence_design is FenceDesign.W_PLUS
+    assert params.num_cores == params.num_banks == 3
+    assert params.batch_cycles == 0          # interleaving-exact
+    assert params.track_dependences          # SCV checker armed
+    assert params.mesh_hop_cycles == 11
+    assert params.write_buffer_entries == 8
+    assert params.bs_entries == 4
+    assert params.bounce_retry_cycles == 45
+    assert params.watchdog_interval == VERIFY_WATCHDOG_INTERVAL
+    assert params.max_cycles == VERIFY_MAX_CYCLES
+    assert params.wplus_recovery_enabled
+
+
+def test_point_can_disable_recovery():
+    params = SchedulePoint().params(FenceDesign.W_PLUS, 2, recovery=False)
+    assert not params.wplus_recovery_enabled

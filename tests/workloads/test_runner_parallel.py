@@ -1,0 +1,78 @@
+"""run_matrix: seed threading, the parallel path, job clamping."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.common.params import FenceDesign
+from repro.eval import figures
+from repro.eval.runner import default_jobs, run_matrix
+
+GRID = dict(num_cores=2, scale=0.06)
+
+
+def test_seed_lands_in_run_summary():
+    runs = run_matrix(["fib"], [FenceDesign.S_PLUS], seed=777, jobs=1,
+                      **GRID)
+    (summary,) = runs.values()
+    assert summary.seed == 777
+
+
+def test_same_seed_reproduces_identical_summaries():
+    a = run_matrix(["fib"], [FenceDesign.S_PLUS, FenceDesign.W_PLUS],
+                   seed=42, jobs=1, **GRID)
+    b = run_matrix(["fib"], [FenceDesign.S_PLUS, FenceDesign.W_PLUS],
+                   seed=42, jobs=1, **GRID)
+    assert a.keys() == b.keys()
+    for key in a:
+        # full field-by-field equality, stats dicts included
+        assert dataclasses.asdict(a[key]) == dataclasses.asdict(b[key])
+
+
+def test_figure_rows_carry_the_seed():
+    data = figures.fig8_cilkapps(scale=0.06, num_cores=2, seed=31,
+                                 apps=("fib",), jobs=1)
+    assert data["seed"] == 31
+
+
+def test_parallel_results_identical_to_serial():
+    kwargs = dict(names=["fib"], designs=[FenceDesign.S_PLUS,
+                                          FenceDesign.WS_PLUS],
+                  seed=5, **GRID)
+    serial = run_matrix(jobs=1, **kwargs)
+    parallel = run_matrix(jobs=2, **kwargs)
+    assert serial.keys() == parallel.keys()
+    for key in serial:
+        assert (dataclasses.asdict(serial[key])
+                == dataclasses.asdict(parallel[key]))
+
+
+def test_failing_job_surfaces_from_the_pool():
+    """A worker exception must propagate, not hang the pool."""
+    with pytest.raises(KeyError):
+        run_matrix(["no-such-workload", "fib"], [FenceDesign.S_PLUS],
+                   jobs=2, **GRID)
+
+
+class TestDefaultJobs:
+    def _with_env(self, monkeypatch, value):
+        if value is None:
+            monkeypatch.delenv("REPRO_JOBS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_JOBS", value)
+        return default_jobs()
+
+    def test_explicit_env_wins(self, monkeypatch):
+        assert self._with_env(monkeypatch, "3") == 3
+
+    def test_zero_clamps_to_one(self, monkeypatch):
+        assert self._with_env(monkeypatch, "0") == 1
+
+    def test_garbage_falls_back_to_cpu_formula(self, monkeypatch):
+        expected = max(1, min(8, (os.cpu_count() or 2) - 1))
+        assert self._with_env(monkeypatch, "not-a-number") == expected
+
+    def test_unset_uses_cpu_formula_capped_at_eight(self, monkeypatch):
+        jobs = self._with_env(monkeypatch, None)
+        assert 1 <= jobs <= 8
