@@ -5,6 +5,7 @@ Commands
 ``run``      run one workload under one (or all) fence designs
 ``litmus``   run a litmus kernel across designs and report outcomes
 ``verify``   schedule-exploration verification (SCV/deadlock hunting)
+``perf``     time the pinned perf matrix, snapshot + regression check
 ``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
 ``table``    regenerate one of the paper's tables (1, 2, 3, 4)
 ``list``     list registered workloads and designs
@@ -16,6 +17,7 @@ Examples::
     python -m repro run TreeOverwrite --all-designs
     python -m repro litmus sb --design W+
     python -m repro verify --designs all --budget 200
+    python -m repro perf --profile tiny --report-only
     python -m repro figure 9 --scale 0.5
     python -m repro table 4
 """
@@ -174,6 +176,44 @@ def cmd_verify(args) -> int:
     return 1 if report.violations else 0
 
 
+def cmd_perf(args) -> int:
+    from repro.perf import harness
+
+    baseline_path = args.baseline or args.out
+    baseline = harness.load_snapshot(baseline_path)
+
+    def progress(entry):
+        print(f"  {entry['key']:32s} median {entry['median_s']:.3f}s "
+              f"({entry['events_per_s']:,.0f} events/s)")
+
+    print(f"perf profile {args.profile!r}, {args.reps} rep(s) per case:")
+    try:
+        snapshot = harness.run_profile(args.profile, reps=args.reps,
+                                       progress=progress)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"total median wall time: {snapshot['total_median_s']:.3f}s")
+
+    comparison = None
+    if baseline is not None:
+        comparison = harness.compare_snapshots(
+            baseline, snapshot, threshold=args.threshold
+        )
+        snapshot["comparison"] = comparison
+        print(harness.render_comparison(comparison))
+    else:
+        print(f"[no baseline snapshot at {baseline_path}; "
+              "this run seeds the trajectory]")
+
+    if args.out != "-":
+        harness.write_snapshot(snapshot, args.out)
+        print(f"[snapshot written to {args.out}]")
+    if comparison is not None and not comparison["ok"] and not args.report_only:
+        return 3
+    return 0
+
+
 def cmd_figure(args) -> int:
     n = args.number
     if n == 8:
@@ -262,6 +302,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path ('-' to skip writing)",
     )
 
+    p_perf = sub.add_parser(
+        "perf",
+        help="time the pinned perf matrix and check for regressions",
+    )
+    p_perf.add_argument(
+        "--profile", default="fig89",
+        help="pinned case matrix: 'fig89' (default) or 'tiny'",
+    )
+    p_perf.add_argument("--reps", type=int, default=3,
+                        help="repetitions per case (median is kept)")
+    p_perf.add_argument(
+        "--out", default="benchmarks/perf/BENCH_perf.json",
+        help="snapshot path ('-' to skip writing)",
+    )
+    p_perf.add_argument(
+        "--baseline", default=None,
+        help="baseline snapshot to compare against "
+             "(default: the previous --out file)",
+    )
+    p_perf.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="regression threshold: fail when a case's median exceeds "
+             "threshold x baseline (default 1.25)",
+    )
+    p_perf.add_argument(
+        "--report-only", action="store_true",
+        help="report regressions but exit 0 (CI smoke mode)",
+    )
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int)
     p_fig.add_argument("--scale", type=float, default=0.5)
@@ -281,6 +350,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "litmus": cmd_litmus,
         "verify": cmd_verify,
+        "perf": cmd_perf,
         "figure": cmd_figure,
         "table": cmd_table,
     }[args.command]

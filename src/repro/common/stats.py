@@ -38,6 +38,20 @@ class CoreCycleBreakdown:
 class MachineStats:
     """All counters for one simulation run."""
 
+    __slots__ = (
+        "num_cores", "breakdown", "instructions", "sf_executed",
+        "wf_executed", "wee_sf_conversions", "bs_occupancy_samples",
+        "bs_insertions", "bs_overflow_stalls", "load_replays", "bounces",
+        "write_retries", "bounced_writes", "order_ops", "cond_order_ops",
+        "cond_order_failures", "wplus_timeouts", "wplus_recoveries",
+        "cutoff_in_recovery", "lmf_fast", "lmf_fallbacks", "cfence_skips",
+        "cfence_stalls", "l1_hits", "l1_misses", "l1_evictions",
+        "dirty_writebacks", "bs_keep_sharer", "network_bytes",
+        "retry_bytes", "coherence_transactions", "txn_commits",
+        "txn_aborts", "txn_cycles", "tasks_executed", "tasks_stolen",
+        "cycles",
+    )
+
     def __init__(self, num_cores: int):
         self.num_cores = num_cores
         self.breakdown = [CoreCycleBreakdown() for _ in range(num_cores)]
@@ -72,6 +86,10 @@ class MachineStats:
         # W+ recovery
         self.wplus_timeouts = 0
         self.wplus_recoveries = 0
+        #: a max_cycles cutoff landed while some core was mid-recovery
+        #: (checkpoint restored, write buffer still draining); the run's
+        #: ``completed=False`` is then a budget artifact, not a hang.
+        self.cutoff_in_recovery = False
 
         # l-mf extension: store-conditional fast paths vs fallbacks
         self.lmf_fast = 0
@@ -191,6 +209,53 @@ class MachineStats:
         t = self.total_breakdown()
         total = t["busy"] + t["fence_stall"] + t["other_stall"]
         return t["fence_stall"] / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every counter as one JSON-serializable dict.
+
+        This is the *full* machine-visible state of a run — the golden
+        trace tests assert it is bit-identical across simulator-kernel
+        changes, so every counter added to this class must appear here.
+        """
+        return {
+            "num_cores": self.num_cores,
+            "breakdown": [b.as_dict() for b in self.breakdown],
+            "instructions": list(self.instructions),
+            "sf_executed": list(self.sf_executed),
+            "wf_executed": list(self.wf_executed),
+            "wee_sf_conversions": list(self.wee_sf_conversions),
+            "bs_occupancy_samples": list(self.bs_occupancy_samples),
+            "bs_insertions": self.bs_insertions,
+            "bs_overflow_stalls": self.bs_overflow_stalls,
+            "load_replays": self.load_replays,
+            "bounces": self.bounces,
+            "write_retries": self.write_retries,
+            "bounced_writes": self.bounced_writes,
+            "order_ops": self.order_ops,
+            "cond_order_ops": self.cond_order_ops,
+            "cond_order_failures": self.cond_order_failures,
+            "wplus_timeouts": self.wplus_timeouts,
+            "wplus_recoveries": self.wplus_recoveries,
+            "cutoff_in_recovery": self.cutoff_in_recovery,
+            "lmf_fast": self.lmf_fast,
+            "lmf_fallbacks": self.lmf_fallbacks,
+            "cfence_skips": self.cfence_skips,
+            "cfence_stalls": self.cfence_stalls,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l1_evictions": self.l1_evictions,
+            "dirty_writebacks": self.dirty_writebacks,
+            "bs_keep_sharer": self.bs_keep_sharer,
+            "network_bytes": self.network_bytes,
+            "retry_bytes": self.retry_bytes,
+            "coherence_transactions": self.coherence_transactions,
+            "txn_commits": self.txn_commits,
+            "txn_aborts": self.txn_aborts,
+            "txn_cycles": self.txn_cycles,
+            "tasks_executed": self.tasks_executed,
+            "tasks_stolen": self.tasks_stolen,
+            "cycles": self.cycles,
+        }
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline metrics (used by the eval harness)."""

@@ -1,0 +1,17 @@
+"""Wall-clock performance harness (``repro perf``).
+
+Times a pinned matrix of workloads x fence designs, writes
+machine-readable ``BENCH_perf.json`` snapshots and compares them
+against a previous snapshot with a configurable regression threshold.
+See :mod:`repro.perf.harness` and docs/PERF.md.
+"""
+
+from repro.perf.harness import (  # noqa: F401
+    DEFAULT_SNAPSHOT_PATH,
+    PROFILES,
+    PerfCase,
+    compare_snapshots,
+    load_snapshot,
+    run_profile,
+    write_snapshot,
+)

@@ -1,0 +1,36 @@
+"""Regenerate the golden trace files.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/make_goldens.py
+
+Only regenerate for a *deliberate* change to simulated behaviour; a
+pure performance change must leave every golden bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from cases import DATA_DIR, GOLDEN_DESIGNS, golden_path, golden_run  # noqa: E402
+
+
+def main() -> int:
+    os.makedirs(DATA_DIR, exist_ok=True)
+    for design in GOLDEN_DESIGNS:
+        path = golden_path(design)
+        data = golden_run(design)
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({data['fib']['cycles']} fib cycles, "
+              f"{data['litmus_sb']['cycles']} litmus cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

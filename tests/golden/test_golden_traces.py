@@ -1,0 +1,50 @@
+"""Golden-trace determinism tests.
+
+For each of the five fence designs, run the pinned workloads at seed
+12345 and assert the **full** ``MachineStats`` dict — cycles, bounces,
+retries, load_replays, per-core breakdowns, traffic, everything —
+matches the checked-in golden JSON bit for bit.
+
+These tests pin the *simulated machine's* behaviour.  Kernel rewrites
+and micro-optimizations must keep them green; if one fails, the change
+altered simulated timing, not just Python wall-clock time.  Regenerate
+deliberately with ``PYTHONPATH=src python tests/golden/make_goldens.py``.
+"""
+
+import json
+
+import pytest
+
+from tests.golden.cases import GOLDEN_DESIGNS, golden_path, golden_run
+
+
+def _diff(expected: dict, actual: dict, prefix=""):
+    """Human-readable list of leaf-level differences."""
+    out = []
+    keys = sorted(set(expected) | set(actual))
+    for key in keys:
+        here = f"{prefix}.{key}" if prefix else str(key)
+        if key not in expected:
+            out.append(f"{here}: unexpected (= {actual[key]!r})")
+        elif key not in actual:
+            out.append(f"{here}: missing (golden {expected[key]!r})")
+        elif isinstance(expected[key], dict) and isinstance(actual[key], dict):
+            out.extend(_diff(expected[key], actual[key], here))
+        elif expected[key] != actual[key]:
+            out.append(f"{here}: golden {expected[key]!r} != {actual[key]!r}")
+    return out
+
+
+@pytest.mark.parametrize(
+    "design", GOLDEN_DESIGNS, ids=[d.name for d in GOLDEN_DESIGNS]
+)
+def test_golden_trace(design):
+    path = golden_path(design)
+    with open(path) as fh:
+        golden = json.load(fh)
+    actual = golden_run(design)
+    diffs = _diff(golden, actual)
+    assert not diffs, (
+        f"{design} diverged from its golden trace ({path}):\n  "
+        + "\n  ".join(diffs[:40])
+    )
