@@ -4,37 +4,71 @@ A single :class:`EventQueue` drives the whole machine: cores, caches,
 directory banks and the NoC all schedule callbacks on it.  Events at the
 same cycle fire in scheduling order (a monotone sequence number breaks
 ties), which makes executions deterministic for a given workload seed.
+
+Hot-path layout: an :class:`Event` *is* its own heap entry — a list
+``[time, seq, fn, label]`` — so ``heapq`` orders events with C-level
+elementwise comparison (``seq`` is unique, so ``fn`` is never compared)
+instead of calling a Python ``__lt__`` per sift step.  ``cancel()`` is
+lazy deletion (``fn`` set to None).  Dispatch is batched per cycle, and
+fired event slots are recycled through a free list when no external
+handle to them survives (checked via the reference count), so steady
+bounce/retry traffic stops allocating.
+
+(A 16-slot timing wheel in front of the heap was prototyped and
+benchmarked ~10% *slower*: with typical heap depths of 10–20 events,
+C-implemented ``heappush``/``heappop`` beat the Python-level slot-scan
+and FIFO bookkeeping a wheel needs.  Revisit only if event counts per
+cycle grow by an order of magnitude.)
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+import sys
+from typing import Callable, List, Optional
 
 from repro.common.errors import SimulatorError
 
+#: free-list bound: enough to absorb any realistic same-cycle burst
+#: without letting a pathological run pin memory.
+_FREE_MAX = 512
 
-class Event:
-    """A scheduled callback.  ``cancel()`` is O(1) (lazy deletion)."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+class Event(list):
+    """A scheduled callback, laid out as ``[time, seq, fn, label]``.
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str = ""):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
-        self.label = label
+    ``cancel()`` is O(1) (lazy deletion): it clears slot 2, and the
+    queue discards the entry when it surfaces.
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> int:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def fn(self) -> Optional[Callable[[], None]]:
+        return self[2]
+
+    @property
+    def label(self) -> str:
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self[2] = None
 
     def __repr__(self):  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time} seq={self.seq} {self.label} {state}>"
+        state = "cancelled" if self[2] is None else "pending"
+        return f"<Event t={self[0]} seq={self[1]} {self[3]} {state}>"
 
 
 class EventQueue:
@@ -46,13 +80,30 @@ class EventQueue:
         self.now = 0
         #: number of events executed (exposed for test/benchmark stats).
         self.executed = 0
+        #: cooperative stop flag — wake-on-event replacement for the
+        #: old per-event ``stop_when`` polling; checked between events.
+        self.stop_requested = False
+        self._free: List[Event] = []
 
     def schedule(self, delay: int, fn: Callable[[], None], label: str = "") -> Event:
-        """Schedule *fn* to run ``delay`` cycles from now."""
+        """Schedule *fn* to run ``delay`` cycles from now.
+
+        *delay* must be a non-negative integer — the clock is integral
+        cycles and callers quantize (``ceil``) fractional latencies
+        before scheduling.
+        """
         if delay < 0:
             raise SimulatorError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        ev = Event(self.now + int(delay), self._seq, fn, label)
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev[0] = self.now + delay
+            ev[1] = seq
+            ev[2] = fn
+            ev[3] = label
+        else:
+            ev = Event((self.now + delay, seq, fn, label))
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -60,13 +111,27 @@ class EventQueue:
         """Schedule *fn* at absolute cycle *time* (>= now)."""
         return self.schedule(time - self.now, fn, label)
 
+    def request_stop(self) -> None:
+        """Ask ``run()`` to return before dispatching the next event.
+
+        This is the wake-on-event idiom: components that know the
+        machine-level stop condition (e.g. the last core going idle)
+        raise the flag at the transition instead of the queue polling a
+        predicate before every event.
+        """
+        self.stop_requested = True
+
+    def clear_stop(self) -> None:
+        self.stop_requested = False
+
     def empty(self) -> bool:
         self._drop_cancelled()
         return not self._heap
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
@@ -74,11 +139,11 @@ class EventQueue:
         if not self._heap:
             return False
         ev = heapq.heappop(self._heap)
-        if ev.time < self.now:  # pragma: no cover - defensive
+        if ev[0] < self.now:  # pragma: no cover - defensive
             raise SimulatorError("event queue time went backwards")
-        self.now = ev.time
+        self.now = ev[0]
         self.executed += 1
-        ev.fn()
+        ev[2]()
         return True
 
     def run(
@@ -86,23 +151,69 @@ class EventQueue:
         until: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
     ) -> int:
-        """Run events until the queue drains, *until* cycles pass, or
-        *stop_when* returns True.  Returns the final clock value."""
-        while True:
-            if stop_when is not None and stop_when():
-                return self.now
-            self._drop_cancelled()
-            if not self._heap:
-                return self.now
-            if until is not None and self._heap[0].time > until:
-                self.now = until
-                return self.now
-            self.step()
+        """Run events until the queue drains, *until* cycles pass, the
+        stop flag is raised, or *stop_when* returns True.  Returns the
+        final clock value.
+
+        The loop dispatches all events of one cycle as a batch with the
+        heap bound to a local, and recycles slots whose handle nobody
+        kept (refcount check), which is where the kernel's speedup over
+        the one-``step()``-per-iteration loop comes from.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        free = self._free
+        refs = sys.getrefcount
+        executed = self.executed
+        try:
+            while True:
+                if stop_when is not None and stop_when():
+                    break
+                if self.stop_requested:
+                    break
+                while heap and heap[0][2] is None:
+                    entry = pop(heap)
+                    if refs(entry) == 2 and len(free) < _FREE_MAX:
+                        entry[3] = ""
+                        free.append(entry)
+                if not heap:
+                    break
+                t = heap[0][0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                self.now = t
+                # batched same-cycle dispatch: zero-delay events
+                # scheduled by a callback join this batch in seq order.
+                while heap and heap[0][0] == t:
+                    entry = pop(heap)
+                    fn = entry[2]
+                    if fn is None:
+                        if refs(entry) == 2 and len(free) < _FREE_MAX:
+                            entry[3] = ""
+                            free.append(entry)
+                        continue
+                    executed += 1
+                    fn()
+                    # recycle iff the scheduler dropped its handle —
+                    # a held handle could still be cancel()ed later.
+                    if refs(entry) == 2:
+                        entry[2] = None
+                        entry[3] = ""
+                        if len(free) < _FREE_MAX:
+                            free.append(entry)
+                    if self.stop_requested or (
+                        stop_when is not None and stop_when()
+                    ):
+                        return self.now
+        finally:
+            self.executed = executed
+        return self.now
 
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None if the queue is empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[2] is not None)

@@ -21,8 +21,7 @@ false positives, backed by the exact entry list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional, Tuple
 
 
 class BloomFilter:
@@ -37,27 +36,55 @@ class BloomFilter:
         self.hashes = hashes
         self._word = 0
 
-    def _positions(self, line: int) -> Iterable[int]:
+    def _positions(self, line: int) -> Tuple[int, ...]:
         h = line * 0x9E3779B1
-        for i in range(self.hashes):
-            yield ((h >> (i * 8)) ^ (h >> 17)) % self.bits
+        x = h >> 17
+        bits = self.bits
+        if self.hashes == 2:
+            return ((h ^ x) % bits, ((h >> 8) ^ x) % bits)
+        return tuple(
+            ((h >> (i * 8)) ^ x) % bits for i in range(self.hashes)
+        )
 
     def add(self, line: int) -> None:
+        # checked/updated on every incoming coherence request: the
+        # common hashes=2 shape is inlined (no tuple, no loop) — same
+        # positions as the generic ``_positions`` formula.
+        if self.hashes == 2:
+            h = line * 0x9E3779B1
+            x = h >> 17
+            bits = self.bits
+            self._word |= (1 << ((h ^ x) % bits)) | (1 << (((h >> 8) ^ x) % bits))
+            return
+        word = self._word
         for pos in self._positions(line):
-            self._word |= 1 << pos
+            word |= 1 << pos
+        self._word = word
 
     def maybe_contains(self, line: int) -> bool:
-        return all(self._word & (1 << pos) for pos in self._positions(line))
+        word = self._word
+        if self.hashes == 2:
+            h = line * 0x9E3779B1
+            x = h >> 17
+            bits = self.bits
+            return (word >> ((h ^ x) % bits)) & 1 == 1 and \
+                (word >> (((h >> 8) ^ x) % bits)) & 1 == 1
+        for pos in self._positions(line):
+            if not word & (1 << pos):
+                return False
+        return True
 
     def clear(self) -> None:
         self._word = 0
 
 
-@dataclass
 class BSEntry:
-    line: int
-    word_mask: int
-    fence_id: int
+    __slots__ = ("line", "word_mask", "fence_id")
+
+    def __init__(self, line: int, word_mask: int, fence_id: int):
+        self.line = line
+        self.word_mask = word_mask
+        self.fence_id = fence_id
 
 
 class BypassSet:
@@ -85,8 +112,11 @@ class BypassSet:
         return not self._entries
 
     def add(self, line: int, word_mask: int, fence_id: int) -> None:
-        """Record a completed post-fence access.  Caller checks ``full``."""
-        assert not self.full or line in self._entries, "BS overflow"
+        """Record a completed post-fence access.
+
+        The caller must check ``full`` first (and stall on overflow, as
+        the core does) unless *line* is already tracked.
+        """
         entry = self._entries.get(line)
         if entry is None:
             self._entries[line] = BSEntry(line, word_mask, fence_id)

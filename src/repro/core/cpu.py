@@ -36,7 +36,7 @@ intervened, so in-flight load replies cannot resurrect squashed work.
 
 from __future__ import annotations
 
-import math
+from math import ceil as _ceil
 from typing import Callable, List, Optional
 
 from repro.common.events import EventQueue
@@ -48,6 +48,13 @@ from repro.fences.base import FencePolicy, PendingFence, make_policy
 from repro.mem.l1controller import L1Controller
 from repro.mem.memory import MemoryImage
 from repro.mem.writebuffer import StoreEntry, WriteBuffer
+
+
+def _no_guard(fn: Callable) -> Callable:
+    """Identity stand-in for :meth:`Core._guard` on designs without W+
+    rollback: the epoch can never advance, so the per-continuation
+    guarding closure would always fall through to *fn*."""
+    return fn
 
 
 class _SfWait:
@@ -86,8 +93,18 @@ class Core:
         self.policy: FencePolicy = make_policy(params.fence_design, self)
         self.thread: Optional[SimThread] = None
         self.finished = True  # no thread bound yet
+        #: cached "(thread is None or finished) and wb.empty" — the
+        #: machine counts done cores for its wake-on-event stop;
+        #: resynced by Machine.run, updated at transitions only.
+        self._done = False
+        #: a W+ rollback's drain-before-resume window is in progress
+        self.recovering = False
 
         self._issue_slot = 1.0 / params.issue_width
+        # address-geometry scalars for inline word/line arithmetic on
+        # the per-op fast path (equivalent to amap.word_of/line_of)
+        self._word_bytes = self.amap.word_bytes
+        self._line_bytes = self.amap.line_bytes
         self._fence_counter = 0
         #: incomplete weak fences, oldest first
         self.pending_fences: List[PendingFence] = []
@@ -102,6 +119,23 @@ class Core:
         self._last_merged_store_id = 0
         self._dl_timer = None
         self._txn_t0: Optional[float] = None
+        # single-slot continuation state for the pre-bound fast-path
+        # callbacks below.  A core is a sequential machine: at most one
+        # control-flow event (batch continuation or slow-path op) is in
+        # flight at a time, so the pending op/result can live on the
+        # instance instead of in a fresh closure per event.  W+ recovery
+        # cancels the pending event outright (see ``_recover``), which
+        # replaces the epoch guard for these continuations.
+        self._cont_ev = None
+        self._cont_result = None
+        self._cont_op = None
+        self._cb_advance = self._advance_cont
+        self._cb_exec_load = self._exec_load_cont
+        self._cb_exec_store_blocked = self._exec_store_blocked_cont
+        self._cb_exec_fence = self._exec_fence_cont
+        self._cb_exec_rmw = self._exec_rmw_cont
+        self._cb_drain_merged = self._drain_merged
+        self._cb_drain_bounced = self._drain_bounced
         #: progress signals for the no-progress watchdog
         self.ops_committed = 0
         self.stores_merged = 0
@@ -114,6 +148,11 @@ class Core:
 
         if self.policy.needs_deadlock_monitor:
             self.l1.on_bs_bounce = self._check_deadlock_monitor
+        if not (self.policy.needs_checkpoint
+                or self.policy.needs_deadlock_monitor):
+            # only a W+ rollback bumps _epoch; without one every
+            # continuation guard is a tautology — skip the closures
+            self._guard = _no_guard
 
     # ------------------------------------------------------------------
     # thread binding / start
@@ -147,85 +186,172 @@ class Core:
 
     def _advance(self, result) -> None:
         """Consume ops until one needs global interaction or the
-        micro-batch window closes, then schedule the continuation."""
+        micro-batch window closes, then schedule the continuation.
+
+        This is the simulator's innermost loop (one iteration per
+        committed operation), so everything it touches repeatedly is
+        bound to a local and ops dispatch on exact type — the ISA op
+        classes are final, making ``__class__ is`` equivalent to
+        ``isinstance`` here.
+        """
         elapsed = 0.0
         budget = self.params.batch_cycles
+        thread = self.thread
+        next_op = thread.next_op
+        cid = self.core_id
+        stats = self.stats
+        instructions = stats.instructions
+        breakdown = stats.breakdown[cid]
+        issue_slot = self._issue_slot
+        pending_fences = self.pending_fences
+        wb_forward = self.wb.forward_entry
+        wb = self.wb
+        wb_cap = wb.capacity
+        word_b = self._word_bytes
+        line_b = self._line_bytes
+        cache_lookup = self.l1.cache.lookup
+        image_read = self.image.read
+        schedule = self.queue.schedule
+        recorder = self.machine.recorder
+        Compute = isa.Compute
+        Load = isa.Load
+        Store = isa.Store
         while True:
-            op = self.thread.next_op(result)
+            op = next_op(result)
             result = None
             self.ops_committed += 1
             if op is None:
                 self._finish_thread(elapsed)
                 return
 
-            if isinstance(op, isa.Compute):
+            cls = op.__class__
+            if cls is Compute:
                 n = op.instructions
-                self.stats.instructions[self.core_id] += n
-                cycles = n * self._issue_slot
-                self.stats.add_busy(self.core_id, cycles)
+                instructions[cid] += n
+                cycles = n * issue_slot
+                breakdown.busy += cycles
                 elapsed += cycles
-            elif isinstance(op, isa.Mark):
-                self._handle_mark(op, elapsed)
-            elif isinstance(op, isa.Note):
-                self.notes.append((self.thread.ops_committed, op.payload))
-            elif isinstance(op, isa.Store):
-                if self.wb.full:
-                    self._later(elapsed, lambda op=op: self._exec_store_blocked(op))
-                    return
-                self._retire_store(op)
-                elapsed += self._issue_slot
-            elif isinstance(op, isa.Load):
-                word = self.amap.word_of(op.addr)
+            elif cls is Load:
+                a = op.addr
+                word = a - (a % word_b)
                 # with a fence outstanding the slow path decides
                 # stall-vs-BS-tracked-forward; no fast path applies
-                fwd = (self.wb.forward_entry(word)
-                       if not self.pending_fences else None)
+                fwd = wb_forward(word) if not pending_fences else None
                 if fwd is not None:
-                    self.stats.instructions[self.core_id] += 1
-                    self.stats.add_busy(self.core_id, self._issue_slot)
+                    instructions[cid] += 1
+                    breakdown.busy += issue_slot
                     elapsed += 1.0  # store-to-load forwarding latency
-                    self._note_forwarded(fwd, self.thread.ops_committed)
+                    if recorder is not None:
+                        recorder.note_forwarded(
+                            cid, thread._ops, fwd.word, fwd.value, fwd.po
+                        )
                     result = fwd.value
-                elif not self.pending_fences and \
-                        self.l1.cache.lookup(self.amap.line_of(op.addr)) is not None:
+                elif not pending_fences and \
+                        cache_lookup(a - (a % line_b)) is not None:
                     # L1 hit with no fence outstanding: fully pipelined
-                    self.stats.instructions[self.core_id] += 1
-                    self.stats.add_busy(self.core_id, self._issue_slot)
-                    self.stats.l1_hits += 1
-                    elapsed += self._issue_slot
-                    self._note_po(self.thread.ops_committed)
-                    result = self.image.read(word, self.core_id)
+                    instructions[cid] += 1
+                    breakdown.busy += issue_slot
+                    stats.l1_hits += 1
+                    elapsed += issue_slot
+                    if recorder is not None:
+                        recorder.note_po(cid, thread._ops)
+                    result = image_read(word, cid)
                 else:
-                    self._later(elapsed, lambda op=op: self._exec_load(op))
+                    self._cont_op = op
+                    self._cont_ev = schedule(
+                        _ceil(elapsed), self._cb_exec_load, "cpu.cont")
                     return
-            elif isinstance(op, isa.Fence):
-                self._later(elapsed, lambda op=op: self._exec_fence(op))
+            elif cls is Store:
+                if len(wb._entries) >= wb_cap:
+                    self._cont_op = op
+                    self._cont_ev = schedule(
+                        _ceil(elapsed), self._cb_exec_store_blocked,
+                        "cpu.cont")
+                    return
+                self._retire_store(op)
+                elapsed += issue_slot
+            elif cls is isa.Mark:
+                self._handle_mark(op, elapsed)
+            elif cls is isa.Note:
+                self.notes.append((thread._ops, op.payload))
+            elif cls is isa.Fence:
+                self._cont_op = op
+                self._cont_ev = schedule(
+                    _ceil(elapsed), self._cb_exec_fence, "cpu.cont")
                 return
-            elif isinstance(op, isa.AtomicRMW):
-                self._later(elapsed, lambda op=op: self._exec_rmw(op))
+            elif cls is isa.AtomicRMW:
+                self._cont_op = op
+                self._cont_ev = schedule(
+                    _ceil(elapsed), self._cb_exec_rmw, "cpu.cont")
                 return
             else:
-                raise TypeError(f"thread {self.thread.tid} yielded {op!r}")
+                raise TypeError(f"thread {thread.tid} yielded {op!r}")
 
             if budget and elapsed >= budget:
-                self._later(elapsed, lambda r=result: self._advance(r))
+                self._cont_result = result
+                self._cont_ev = schedule(
+                    _ceil(elapsed), self._cb_advance, "cpu.cont")
                 return
             if not budget:
                 # batching disabled: one op per event
-                self._later(max(elapsed, 1.0),
-                            lambda r=result: self._advance(r))
+                self._cont_result = result
+                self._cont_ev = schedule(
+                    _ceil(max(elapsed, 1.0)), self._cb_advance, "cpu.cont")
                 return
 
     def _later(self, delay: float, fn: Callable[[], None]) -> None:
-        self.queue.schedule(int(math.ceil(delay)), self._guard(fn), "cpu.cont")
+        self.queue.schedule(_ceil(delay), self._guard(fn), "cpu.cont")
+
+    # --- pre-bound continuation callbacks (zero-allocation fast path).
+    # Each consumes the single-slot state set where it was scheduled.
+
+    def _advance_cont(self) -> None:
+        self._cont_ev = None
+        result, self._cont_result = self._cont_result, None
+        self._advance(result)
+
+    def _exec_load_cont(self) -> None:
+        self._cont_ev = None
+        op, self._cont_op = self._cont_op, None
+        self._exec_load(op)
+
+    def _exec_store_blocked_cont(self) -> None:
+        self._cont_ev = None
+        op, self._cont_op = self._cont_op, None
+        self._exec_store_blocked(op)
+
+    def _exec_fence_cont(self) -> None:
+        self._cont_ev = None
+        op, self._cont_op = self._cont_op, None
+        self._exec_fence(op)
+
+    def _exec_rmw_cont(self) -> None:
+        self._cont_ev = None
+        op, self._cont_op = self._cont_op, None
+        self._exec_rmw(op)
 
     def _finish_thread(self, elapsed: float) -> None:
         self.finished = True
+        self._refresh_done()
         self.queue.schedule(
-            int(math.ceil(elapsed)),
+            _ceil(elapsed),
             lambda: self.machine.thread_finished(self),
             "cpu.done",
         )
+
+    def _refresh_done(self) -> None:
+        """Report a done/not-done transition to the machine.
+
+        Called wherever doneness can flip: the thread finishing, the
+        write buffer draining its last store, or a W+ rollback
+        resurrecting a finished thread.  The machine counts done cores
+        and stops the event loop when all of them are (wake-on-event
+        replacement for polling ``Machine._all_done`` per event).
+        """
+        done = (self.thread is None or self.finished) and not self.wb._entries
+        if done != self._done:
+            self._done = done
+            self.machine.core_done_changed(done)
 
     # ------------------------------------------------------------------
     # marks (zero-time statistics)
@@ -240,7 +366,7 @@ class Core:
 
     def _handle_mark(self, op: isa.Mark, elapsed: float) -> None:
         now = self.queue.now + elapsed
-        po = self.thread.ops_committed
+        po = self.thread._ops
         journal = self.policy.needs_checkpoint
         if op.kind in self._MARK_COUNTERS:
             attr = self._MARK_COUNTERS[op.kind]
@@ -280,11 +406,14 @@ class Core:
             )
 
     def _retire_store(self, op: isa.Store) -> None:
-        word = self.amap.word_of(op.addr)
-        self.stats.instructions[self.core_id] += 1
-        self.stats.add_busy(self.core_id, self._issue_slot)
-        entry = self.wb.push(word, op.value, self.amap.line_of(word))
-        entry.po = self.thread.ops_committed
+        a = op.addr
+        word = a - (a % self._word_bytes)
+        cid = self.core_id
+        stats = self.stats
+        stats.instructions[cid] += 1
+        stats.breakdown[cid].busy += self._issue_slot
+        entry = self.wb.push(word, op.value, word - (word % self._line_bytes))
+        entry.po = self.thread._ops
         self._kick_drain()
 
     def _exec_store_blocked(self, op: isa.Store) -> None:
@@ -303,29 +432,33 @@ class Core:
         self._kick_drain()
 
     def _kick_drain(self) -> None:
-        if self._drain_busy or self.wb.empty:
+        if self._drain_busy or not self.wb._entries:
             return
         self._drain_busy = True
-        entry = self.wb.head()
+        entry = self.wb._entries[0]
         entry.issued = True
         self._issue_head(entry)
 
     def _issue_head(self, entry: StoreEntry) -> None:
+        # only the head store is ever in flight, so the completion
+        # callbacks are pre-bound methods that re-read the head instead
+        # of per-issue closures capturing the entry.
         self.l1.issue_store(
             entry,
-            on_done=lambda: self._store_merged(entry),
-            on_bounce=lambda: self._store_bounced(entry),
+            on_done=self._cb_drain_merged,
+            on_bounce=self._cb_drain_bounced,
         )
 
-    def _store_merged(self, entry: StoreEntry) -> None:
-        head = self.wb.pop_head()
-        assert head is entry, "drain engine out of sync"
+    def _drain_merged(self) -> None:
+        entry = self.wb.pop_head()
         self._drain_busy = False
         self.stores_merged += 1
         self._on_store_completed(entry.store_id)
         self._kick_drain()
+        self._refresh_done()
 
-    def _store_bounced(self, entry: StoreEntry) -> None:
+    def _drain_bounced(self) -> None:
+        entry = self.wb._entries[0]  # the head: the only issued store
         if not entry.bouncing:
             self.stats.bounced_writes += 1
         entry.bouncing = True
@@ -368,7 +501,8 @@ class Core:
         if self._sf_wait is not None and self._sf_wait.store_id <= store_id:
             wait, self._sf_wait = self._sf_wait, None
             wait.callback()
-        if self._wb_full_waiter is not None and not self.wb.full:
+        if self._wb_full_waiter is not None and \
+                len(self.wb._entries) < self.wb.capacity:
             waiter, self._wb_full_waiter = self._wb_full_waiter, None
             waiter()
 
@@ -421,19 +555,20 @@ class Core:
                 )
                 self.stats.bs_insertions += 1
             self.stats.instructions[self.core_id] += 1
-            self.stats.add_busy(self.core_id, self._issue_slot)
-            self._note_forwarded(fwd, self.thread.ops_committed)
-            self._later(1.0, lambda: self._advance(fwd.value))
+            self.stats.breakdown[self.core_id].busy += self._issue_slot
+            self._note_forwarded(fwd, self.thread._ops)
+            self._cont_result = fwd.value
+            self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
             return
         t0 = self.queue.now
-        po = self.thread.ops_committed
+        po = self.thread._ops
         self.stats.instructions[self.core_id] += 1
-        self.stats.add_busy(self.core_id, self._issue_slot)
+        self.stats.breakdown[self.core_id].busy += self._issue_slot
 
         def on_done(was_hit: bool) -> None:
             latency = self.queue.now - t0
-            self.stats.add_other_stall(
-                self.core_id, max(0.0, latency - self._issue_slot)
+            self.stats.breakdown[self.core_id].other_stall += max(
+                0.0, latency - self._issue_slot
             )
             self._load_performed(op, word, po)
 
@@ -477,7 +612,7 @@ class Core:
             return
         retry, t0 = self._stalled_load
         self._stalled_load = None
-        self.stats.add_fence_stall(self.core_id, self.queue.now - t0)
+        self.stats.breakdown[self.core_id].fence_stall += self.queue.now - t0
         retry()
 
     # ------------------------------------------------------------------
@@ -486,7 +621,7 @@ class Core:
 
     def _exec_fence(self, op: isa.Fence) -> None:
         self.stats.instructions[self.core_id] += 1
-        self.stats.add_busy(self.core_id, self._issue_slot)
+        self.stats.breakdown[self.core_id].busy += self._issue_slot
         flavour = self.policy.flavour(op.role)
         if flavour is FenceFlavour.SF:
             self.stats.sf_executed[self.core_id] += 1
@@ -497,11 +632,11 @@ class Core:
             self._run_strong_fence()
             return
         # weak fence
-        if self.wb.empty:
+        if not self.wb._entries:
             # no pending pre-fence stores: the fence completes at
             # retirement for every design (nothing to reorder past).
             self.stats.wf_executed[self.core_id] += 1
-            self._later(1.0, lambda: self._advance(None))
+            self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
             return
         self._fence_counter += 1
         pf = PendingFence(
@@ -518,7 +653,7 @@ class Core:
         if self.policy.needs_checkpoint:
             pf.checkpoint = self.thread.checkpoint()
         self.pending_fences.append(pf)
-        self._later(1.0, lambda: self._advance(None))
+        self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
 
     def _run_strong_fence(self) -> None:
         t0 = self.queue.now
@@ -533,7 +668,7 @@ class Core:
         self._wait_for_drain(self._guard(done))
 
     def _wait_for_drain(self, callback: Callable[[], None]) -> None:
-        if self.wb.empty:
+        if not self.wb._entries:
             callback()
             return
         assert self._sf_wait is None, "nested drain waits"
@@ -561,7 +696,7 @@ class Core:
         self.stats.add_busy(self.core_id, self._issue_slot)
         t0 = self.queue.now
         word = self.amap.word_of(op.addr)
-        po = self.thread.ops_committed
+        po = self.thread._ops
 
         def after_drain():
             def on_done(old: int) -> None:
@@ -637,6 +772,13 @@ class Core:
         pf = self.pending_fences[0]
         assert pf.checkpoint is not None
         self._epoch += 1  # invalidate in-flight thread continuations
+        if self._cont_ev is not None:
+            # the fast-path continuations are not epoch-guarded: squash
+            # the pending one explicitly instead
+            self._cont_ev.cancel()
+            self._cont_ev = None
+            self._cont_result = None
+            self._cont_op = None
         self.pending_fences.clear()
         self._sf_wait = None
         self._wb_full_waiter = None
@@ -644,6 +786,8 @@ class Core:
         self._txn_t0 = None
         self.thread.rollback(pf.checkpoint)
         self.finished = False
+        self.recovering = True
+        self._refresh_done()
         self.wb.drop_after(pf.last_store_id)
         self.bs.clear_all()
         if self.machine.recorder is not None:
@@ -661,6 +805,7 @@ class Core:
         t0 = self.queue.now
 
         def resume():
+            self.recovering = False
             self.stats.add_fence_stall(
                 self.core_id,
                 (self.queue.now - t0) + self.params.wplus_recovery_cycles,

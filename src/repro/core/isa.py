@@ -8,32 +8,63 @@ old value for :class:`AtomicRMW`, ``None`` otherwise).
 Threads must be *deterministic* functions of these results (see
 :mod:`repro.core.thread`): W+ rollback re-executes a thread prefix by
 replaying the recorded results.
+
+The op classes are hand-written ``__slots__`` value types rather than
+frozen dataclasses: one is allocated per simulated operation, and a
+frozen dataclass pays an ``object.__setattr__`` per field on every
+construction.  They keep dataclass semantics — keyword construction,
+field-tuple equality (class-checked), field-tuple hashing — and must be
+treated as immutable even though Python no longer enforces it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.params import FenceRole
 
 
-@dataclass(frozen=True)
 class Load:
     """Read one word of simulated shared memory."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self):
+        return f"Load(addr={self.addr!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Load:
+            return self.addr == other.addr
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.addr,))
 
 
-@dataclass(frozen=True)
 class Store:
     """Write one word of simulated shared memory (retires into the WB)."""
 
-    addr: int
-    value: int
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: int):
+        self.addr = addr
+        self.value = value
+
+    def __repr__(self):
+        return f"Store(addr={self.addr!r}, value={self.value!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Store:
+            return (self.addr, self.value) == (other.addr, other.value)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.addr, self.value))
 
 
-@dataclass(frozen=True)
 class Fence:
     """A memory fence, annotated with its asymmetric-group role.
 
@@ -41,10 +72,23 @@ class Fence:
     this executes as an sf or a wf (``flavour_for``).
     """
 
-    role: FenceRole = FenceRole.STANDARD
+    __slots__ = ("role",)
+
+    def __init__(self, role: FenceRole = FenceRole.STANDARD):
+        self.role = role
+
+    def __repr__(self):
+        return f"Fence(role={self.role!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Fence:
+            return self.role == other.role
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.role,))
 
 
-@dataclass(frozen=True)
 class AtomicRMW:
     """Atomic read-modify-write (exchange, fetch-add, CAS...).
 
@@ -56,9 +100,25 @@ class AtomicRMW:
     operand), "cas" (write ``operand[1]`` iff old == ``operand[0]``).
     """
 
-    addr: int
-    op: str
-    operand: object = 0
+    __slots__ = ("addr", "op", "operand")
+
+    def __init__(self, addr: int, op: str, operand: object = 0):
+        self.addr = addr
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self):
+        return (f"AtomicRMW(addr={self.addr!r}, op={self.op!r}, "
+                f"operand={self.operand!r})")
+
+    def __eq__(self, other):
+        if other.__class__ is AtomicRMW:
+            return (self.addr, self.op, self.operand) == \
+                (other.addr, other.op, other.operand)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.addr, self.op, self.operand))
 
     def apply(self, old: int) -> int:
         if self.op == "xchg":
@@ -71,14 +131,26 @@ class AtomicRMW:
         raise ValueError(f"unknown RMW op {self.op!r}")
 
 
-@dataclass(frozen=True)
 class Compute:
     """*instructions* non-memory instructions of local work."""
 
-    instructions: int
+    __slots__ = ("instructions",)
+
+    def __init__(self, instructions: int):
+        self.instructions = instructions
+
+    def __repr__(self):
+        return f"Compute(instructions={self.instructions!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Compute:
+            return self.instructions == other.instructions
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.instructions,))
 
 
-@dataclass(frozen=True)
 class Mark:
     """Zero-time statistics marker (transaction committed, task run...).
 
@@ -88,11 +160,24 @@ class Mark:
     accounting for Figure 10).
     """
 
-    kind: str
-    amount: int = 1
+    __slots__ = ("kind", "amount")
+
+    def __init__(self, kind: str, amount: int = 1):
+        self.kind = kind
+        self.amount = amount
+
+    def __repr__(self):
+        return f"Mark(kind={self.kind!r}, amount={self.amount!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Mark:
+            return (self.kind, self.amount) == (other.kind, other.amount)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.kind, self.amount))
 
 
-@dataclass(frozen=True)
 class Note:
     """Zero-time, rollback-aware observation channel.
 
@@ -103,7 +188,21 @@ class Note:
     plain list appends would be duplicated by checkpoint replay.
     """
 
-    payload: object
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: object):
+        self.payload = payload
+
+    def __repr__(self):
+        return f"Note(payload={self.payload!r})"
+
+    def __eq__(self, other):
+        if other.__class__ is Note:
+            return self.payload == other.payload
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.payload,))
 
 
 #: Operations that access the simulated shared memory.

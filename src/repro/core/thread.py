@@ -42,13 +42,22 @@ class ThreadContext:
 class SimThread:
     """One simulated thread with checkpoint/rollback support."""
 
-    def __init__(self, fn: Callable, ctx: ThreadContext):
+    def __init__(self, fn: Callable, ctx: ThreadContext, keep_log: bool = True):
         self._fn = fn
         self.ctx = ctx
         self.tid = ctx.tid
         self.finished = False
-        #: committed (op, result) pairs, the replay log
-        self._log: List[Tuple[object, object]] = []
+        #: the replay log as parallel lists (ops / results) — parallel
+        #: rather than (op, result) tuples so the next_op hot path does
+        #: two list writes instead of allocating a tuple per op.  Only
+        #: W+ ever rolls back; other designs pass ``keep_log=False``
+        #: and pay neither the log writes nor the log memory.
+        self._keep_log = keep_log
+        self._log_ops: List[object] = []
+        self._log_results: List[object] = []
+        #: committed-op count (always maintained; == len(_log_ops) when
+        #: the log is kept)
+        self._ops = 0
         self._gen = None
         self._started = False
         self._create_generator()
@@ -59,30 +68,76 @@ class SimThread:
         self.ctx._reset_rng()
         self._gen = self._fn(self.ctx)
         self._started = False
+        # re-arm the first-call path; it swaps ``next_op`` to the
+        # keep-log-specialized started path after the first op.
+        self.next_op = self._next_op_first
 
     # --- forward execution -------------------------------------------
+    #
+    # ``next_op`` is called once per committed operation — the hottest
+    # call in the simulator after the event queue — so it is state-
+    # specialized: the first call primes the generator and rebinds the
+    # instance's ``next_op`` to a started-path variant that skips the
+    # started/keep-log branches on every subsequent call.
 
-    def next_op(self, prev_result=None):
+    def _next_op_first(self, prev_result=None):
         """Advance the generator; returns the next op or None when done.
 
         *prev_result* is the result of the previously-yielded op; it is
-        appended to the committed log together with that op.
+        committed to the replay log together with that op.
         """
+        if self._started:
+            # caller cached the bound method across the rebind (the
+            # core binds ``thread.next_op`` to a local per micro-batch)
+            if self._keep_log:
+                return self._next_op_log(prev_result)
+            return self._next_op_nolog(prev_result)
         if self.finished:
             return None
         try:
-            if not self._started:
-                self._started = True
-                op = next(self._gen)
-            else:
-                # commit the previous op's result before advancing
-                self._log[-1] = (self._log[-1][0], prev_result)
-                op = self._gen.send(prev_result)
+            op = next(self._gen)
         except StopIteration:
             self.finished = True
             return None
-        # provisional log entry; result filled in on the next call
-        self._log.append((op, None))
+        self._started = True
+        if self._keep_log:
+            # provisional log entry; result filled in on the next call
+            self._log_ops.append(op)
+            self._log_results.append(None)
+            self.next_op = self._next_op_log
+        else:
+            self.next_op = self._next_op_nolog
+        self._ops += 1
+        return op
+
+    #: class-level default so ``thread.next_op`` resolves before
+    #: ``_create_generator`` installs the instance binding
+    next_op = _next_op_first
+
+    def _next_op_nolog(self, prev_result=None):
+        if self.finished:
+            return None
+        try:
+            op = self._gen.send(prev_result)
+        except StopIteration:
+            self.finished = True
+            return None
+        self._ops += 1
+        return op
+
+    def _next_op_log(self, prev_result=None):
+        if self.finished:
+            return None
+        try:
+            # commit the previous op's result before advancing
+            self._log_results[-1] = prev_result
+            op = self._gen.send(prev_result)
+        except StopIteration:
+            self.finished = True
+            return None
+        self._log_ops.append(op)
+        self._log_results.append(None)
+        self._ops += 1
         return op
 
     # --- checkpointing --------------------------------------------------
@@ -94,7 +149,11 @@ class SimThread:
         previously yielded ops are in the log.  The returned token
         restores execution to just after the op most recently yielded.
         """
-        return len(self._log)
+        if not self._keep_log:
+            raise ThreadReplayError(
+                f"thread {self.tid}: created without a replay log"
+            )
+        return len(self._log_ops)
 
     def rollback(self, token: int) -> None:
         """Discard execution past *token* and replay the prefix.
@@ -103,18 +162,21 @@ class SimThread:
         :class:`ThreadReplayError` if the thread yields a different
         operation sequence during replay (nondeterminism).
         """
-        if token > len(self._log):
+        if token > len(self._log_ops):
             raise ThreadReplayError(
                 f"thread {self.tid}: checkpoint {token} beyond log "
-                f"({len(self._log)} entries)"
+                f"({len(self._log_ops)} entries)"
             )
-        prefix = self._log[:token]
+        prefix_ops = self._log_ops[:token]
+        prefix_results = self._log_results[:token]
         self._create_generator()
-        self._log = []
+        self._log_ops = []
+        self._log_results = []
+        self._ops = 0
         self.finished = False
         self.rollbacks += 1
-        for i, (expected_op, result) in enumerate(prefix):
-            op = self.next_op(None if i == 0 else prefix[i - 1][1])
+        for i, expected_op in enumerate(prefix_ops):
+            op = self.next_op(None if i == 0 else prefix_results[i - 1])
             if op != expected_op:
                 raise ThreadReplayError(
                     f"thread {self.tid}: replay divergence at op {i}: "
@@ -125,4 +187,4 @@ class SimThread:
 
     @property
     def ops_committed(self) -> int:
-        return len(self._log)
+        return self._ops

@@ -44,13 +44,30 @@ class SetAssocCache:
         self.sets: List["OrderedDict[int, LineState]"] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # when geometry is power-of-two (the usual case), index with a
+        # shift+mask instead of a big-int divide+modulo
+        if (line_bytes & (line_bytes - 1)) == 0 and \
+                (self.num_sets & (self.num_sets - 1)) == 0:
+            self._line_shift: Optional[int] = line_bytes.bit_length() - 1
+            self._set_mask = self.num_sets - 1
+        else:
+            self._line_shift = None
+            self._set_mask = 0
 
     def _set_of(self, line: int) -> "OrderedDict[int, LineState]":
+        if self._line_shift is not None:
+            return self.sets[(line >> self._line_shift) & self._set_mask]
         return self.sets[(line // self.line_bytes) % self.num_sets]
 
     def lookup(self, line: int, touch: bool = True) -> Optional[LineState]:
         """State of *line* if present (updates LRU unless touch=False)."""
-        s = self._set_of(line)
+        # _set_of inlined: lookup() runs once per load in the core's
+        # fast path, so the extra call is measurable.
+        shift = self._line_shift
+        if shift is not None:
+            s = self.sets[(line >> shift) & self._set_mask]
+        else:
+            s = self.sets[(line // self.line_bytes) % self.num_sets]
         state = s.get(line)
         if state is not None and touch:
             s.move_to_end(line)
@@ -58,13 +75,22 @@ class SetAssocCache:
 
     def set_state(self, line: int, state: LineState) -> None:
         """Set/insert *line* with *state* (no eviction — use insert())."""
-        s = self._set_of(line)
+        shift = self._line_shift
+        if shift is not None:
+            s = self.sets[(line >> shift) & self._set_mask]
+        else:
+            s = self.sets[(line // self.line_bytes) % self.num_sets]
         s[line] = state
         s.move_to_end(line)
 
     def invalidate(self, line: int) -> Optional[LineState]:
         """Remove *line*; returns its previous state (None if absent)."""
-        return self._set_of(line).pop(line, None)
+        shift = self._line_shift
+        if shift is not None:
+            s = self.sets[(line >> shift) & self._set_mask]
+        else:
+            s = self.sets[(line // self.line_bytes) % self.num_sets]
+        return s.pop(line, None)
 
     def victim(self, line: int) -> Optional[Tuple[int, LineState]]:
         """The (line, state) that inserting *line* would evict, or None."""
@@ -80,7 +106,11 @@ class SetAssocCache:
         Returns the evicted (line, state) or None.  The caller is
         responsible for issuing the writeback of a dirty victim.
         """
-        s = self._set_of(line)
+        shift = self._line_shift
+        if shift is not None:
+            s = self.sets[(line >> shift) & self._set_mask]
+        else:
+            s = self.sets[(line // self.line_bytes) % self.num_sets]
         evicted = None
         if line not in s and len(s) >= self.ways:
             victim_line, victim_state = s.popitem(last=False)

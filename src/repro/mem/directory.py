@@ -79,6 +79,13 @@ class DirectoryBank:
         self._l2_capacity = max(
             1, params.l2_bank_size_bytes // params.line_bytes
         )
+        # off-chip fetch cost through the single memory port (tile 0):
+        # fixed per bank, so fold the NoC round trip once here instead
+        # of recomputing it on every L2 miss.
+        self._mem_fetch_cycles = (
+            2 * noc.latency(bank_id, MeshNoc.MEMORY_NODE, Msg.GETS)
+            + params.memory_cycles
+        )
         #: WeeFence GRT slice: (core, fence_id) -> pending-set lines.
         #: Keyed per dynamic fence — a core can have several fences in
         #: flight (TSO back-to-back barriers) and each deposit must
@@ -331,13 +338,12 @@ class DirectoryBank:
 
     def _data_source_latency(self, line: int) -> int:
         """Extra cycles to source the line beyond the dir access."""
-        if line in self._l2:
-            self._l2.move_to_end(line)
+        l2 = self._l2
+        if line in l2:
+            l2.move_to_end(line)
             return 0
-        # off-chip fetch through the single memory port (tile 0)
-        mem_hops = 2 * self.noc.latency(self.bank_id, MeshNoc.MEMORY_NODE, Msg.GETS)
         self._l2_fill(line)
-        return mem_hops + self.params.memory_cycles
+        return self._mem_fetch_cycles
 
     # ------------------------------------------------------------------
     # WeeFence GRT slice

@@ -58,6 +58,12 @@ class L1Controller:
             params.l1_size_bytes, params.l1_ways, params.line_bytes
         )
         self.bs = BypassSet(params.bs_entries, fine_grain=fine_grain_bs)
+        # hot-path scalars lifted out of params/amap: every load and
+        # every drained store goes through read()/issue_store().
+        self._line_bytes = params.line_bytes
+        self._hit_cycles = params.l1_hit_cycles
+        self._interleave = self.amap.interleave_bytes
+        self._num_banks = params.num_banks
         #: wired by the Machine: list of DirectoryBank, index = bank id
         self.banks: List = []
         #: core hook fired when this BS bounces an external request
@@ -80,12 +86,12 @@ class L1Controller:
         The caller reads the value from the memory image inside the
         callback (that instant is the load's performance point).
         """
-        line = self.amap.line_of(addr)
+        line = addr - (addr % self._line_bytes)
         state = self.cache.lookup(line)
         if state is not None:
             self.stats.l1_hits += 1
             self.queue.schedule(
-                self.params.l1_hit_cycles, lambda: on_done(True), "l1.read_hit"
+                self._hit_cycles, lambda: on_done(True), "l1.read_hit"
             )
             return
         self.stats.l1_misses += 1
@@ -126,7 +132,7 @@ class L1Controller:
                     self.issue_store(entry, on_done, on_bounce)
 
             self.stats.l1_hits += 1
-            self.queue.schedule(self.params.l1_hit_cycles, complete, "l1.write_hit")
+            self.queue.schedule(self._hit_cycles, complete, "l1.write_hit")
             return
 
         self.stats.l1_misses += 1
@@ -246,7 +252,8 @@ class L1Controller:
     # ------------------------------------------------------------------
 
     def _send_request(self, txn: Transaction) -> None:
-        bank_id = self.amap.home_bank(txn.line)
+        # amap.home_bank inlined (block-interleaved home mapping)
+        bank_id = (txn.line // self._interleave) % self._num_banks
         bank = self.banks[bank_id]
         lat = self.noc.send_cost(self.core_id, bank_id, txn.kind, retry=txn.is_retry)
         self.queue.schedule(lat, lambda: bank.receive(txn), "l1.request")

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -40,6 +39,14 @@ class Msg(enum.Enum):
     WB_DATA = "WbData"             # dirty data flushed on Inv/Downgrade
 
 
+# dense per-member index so hot lookup tables (NoC byte counts,
+# serialization cycles, latency memos) can be lists indexed by
+# ``kind.idx`` instead of dicts hashing the enum member.
+for _i, _m in enumerate(Msg):
+    _m.idx = _i
+del _i, _m
+
+
 #: header-only messages cost one flit (8 bytes of header), data messages
 #: cost header + line.  The paper's links are 256-bit (32B).
 HEADER_BYTES = 8
@@ -61,34 +68,65 @@ def message_bytes(kind: Msg, line_bytes: int) -> int:
 _txn_ids = itertools.count(1)
 
 
-@dataclass
 class Transaction:
     """One coherence transaction in flight at the directory.
 
     The directory serializes transactions per line: while one is in
     flight the line is *busy* and later requests wait in a FIFO.
+
+    A plain ``__slots__`` class (one is allocated per coherence
+    transaction, a simulation hot path): no dict, cheap attribute
+    access, same keyword constructor a dataclass would generate.
     """
 
-    kind: Msg
-    requester: int
-    line: int
-    #: word bitmask being written (CO requests; 0 otherwise)
-    word_mask: int = 0
-    #: True if this request's O bit is set (Order / CondOrder)
-    ordered: bool = False
-    #: is this a retry of a previously bounced request?
-    is_retry: bool = False
-    txn_id: int = field(default_factory=lambda: next(_txn_ids))
-    # bookkeeping while invalidations are outstanding
-    pending_acks: int = 0
-    bounced: bool = False
-    #: cores to keep as sharers (BS matches on Order/CO; the evictor on
-    #: a keep-sharer PutM)
-    keep_sharers: Optional[set] = None
-    true_sharing_seen: bool = False
-    #: did the requester hold an S copy when processing began?
-    requester_was_sharer: bool = False
-    #: GetS answered with an Exclusive grant
-    granted_exclusive: bool = False
-    #: completion callback, called as on_done(reply_kind, txn)
-    on_done: Optional[object] = None
+    __slots__ = (
+        "kind", "requester", "line", "word_mask", "ordered", "is_retry",
+        "txn_id", "pending_acks", "bounced", "keep_sharers",
+        "true_sharing_seen", "requester_was_sharer", "granted_exclusive",
+        "on_done",
+    )
+
+    def __init__(
+        self,
+        kind: Msg,
+        requester: int,
+        line: int,
+        word_mask: int = 0,
+        ordered: bool = False,
+        is_retry: bool = False,
+        txn_id: Optional[int] = None,
+        pending_acks: int = 0,
+        bounced: bool = False,
+        keep_sharers: Optional[set] = None,
+        true_sharing_seen: bool = False,
+        requester_was_sharer: bool = False,
+        granted_exclusive: bool = False,
+        on_done: Optional[object] = None,
+    ):
+        self.kind = kind
+        self.requester = requester
+        self.line = line
+        #: word bitmask being written (CO requests; 0 otherwise)
+        self.word_mask = word_mask
+        #: True if this request's O bit is set (Order / CondOrder)
+        self.ordered = ordered
+        #: is this a retry of a previously bounced request?
+        self.is_retry = is_retry
+        self.txn_id = next(_txn_ids) if txn_id is None else txn_id
+        # bookkeeping while invalidations are outstanding
+        self.pending_acks = pending_acks
+        self.bounced = bounced
+        #: cores to keep as sharers (BS matches on Order/CO; the evictor
+        #: on a keep-sharer PutM)
+        self.keep_sharers = keep_sharers
+        self.true_sharing_seen = true_sharing_seen
+        #: did the requester hold an S copy when processing began?
+        self.requester_was_sharer = requester_was_sharer
+        #: GetS answered with an Exclusive grant
+        self.granted_exclusive = granted_exclusive
+        #: completion callback, called as on_done(reply_kind, txn)
+        self.on_done = on_done
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"<Txn#{self.txn_id} {self.kind.value} P{self.requester} "
+                f"line={self.line:#x}>")

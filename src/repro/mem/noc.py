@@ -36,6 +36,21 @@ class MeshNoc:
         self.stats = stats
         self.dim = max(1, math.isqrt(max(params.num_cores, params.num_banks) - 1) + 1) \
             if max(params.num_cores, params.num_banks) > 1 else 1
+        # geometry and message sizes are fixed for the machine's
+        # lifetime, so byte counts per kind are precomputed and
+        # point-to-point latencies memoized — both sit on the
+        # per-message hot path of every coherence transaction.  The
+        # tables are lists indexed by ``Msg.idx`` and the latency memo
+        # key is a flat int, so no enum member is ever hashed here.
+        self._bytes = [
+            message_bytes(kind, params.line_bytes) for kind in Msg
+        ]
+        link = params.link_bytes
+        self._ser_cycles = [
+            max(1, -(-nbytes // link)) - 1  # (flits - 1)
+            for nbytes in self._bytes
+        ]
+        self._latency_cache: dict = {}
 
     def coords(self, node: int) -> Tuple[int, int]:
         """XY coordinates of a tile (memory port sits at tile 0)."""
@@ -51,20 +66,35 @@ class MeshNoc:
 
     def latency(self, src: int, dst: int, kind: Msg) -> int:
         """Cycles for a message of *kind* from *src* to *dst*."""
-        hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
-        nbytes = message_bytes(kind, self.params.line_bytes)
-        flits = max(1, -(-nbytes // self.params.link_bytes))  # ceil div
-        return hop_lat + (flits - 1)
+        # flat int key (node ids are tiny; +1 shifts MEMORY_NODE to 0)
+        key = (src + 1) * 262144 + (dst + 1) * 64 + kind.idx
+        lat = self._latency_cache.get(key)
+        if lat is None:
+            hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
+            lat = self._latency_cache[key] = hop_lat + self._ser_cycles[kind.idx]
+        return lat
 
     def account(self, kind: Msg, retry: bool = False) -> int:
         """Record the traffic of one message; returns its byte size."""
-        nbytes = message_bytes(kind, self.params.line_bytes)
-        self.stats.network_bytes += nbytes
+        nbytes = self._bytes[kind.idx]
+        stats = self.stats
+        stats.network_bytes += nbytes
         if retry:
-            self.stats.retry_bytes += nbytes
+            stats.retry_bytes += nbytes
         return nbytes
 
     def send_cost(self, src: int, dst: int, kind: Msg, retry: bool = False) -> int:
         """Account traffic and return the delivery latency in cycles."""
-        self.account(kind, retry=retry)
-        return self.latency(src, dst, kind)
+        idx = kind.idx
+        nbytes = self._bytes[idx]
+        stats = self.stats
+        stats.network_bytes += nbytes
+        if retry:
+            stats.retry_bytes += nbytes
+        key = (src + 1) * 262144 + (dst + 1) * 64 + idx
+        cache = self._latency_cache
+        lat = cache.get(key)
+        if lat is None:
+            hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
+            lat = cache[key] = hop_lat + self._ser_cycles[idx]
+        return lat

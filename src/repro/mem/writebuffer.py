@@ -11,32 +11,38 @@ promotions flip its ``ordered`` flag.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 _store_ids = itertools.count(1)
 
 
-@dataclass
 class StoreEntry:
-    """One retired store waiting to merge with the memory system."""
+    """One retired store waiting to merge with the memory system.
 
-    word: int
-    value: int
-    line: int
-    #: set by the drain engine while a coherence transaction is in flight
-    issued: bool = False
-    #: currently in bounced-retry state (hit a remote BS)
-    bouncing: bool = False
-    #: number of retries so far for this store
-    retries: int = 0
-    #: O bit — promote the next retry to an Order request (WS+)
-    ordered: bool = False
-    #: word bitmask for Conditional Order requests (SW+); 0 = plain
-    word_mask: int = 0
-    #: program-order index of the store in its thread (SCV recorder)
-    po: int = 0
-    store_id: int = field(default_factory=lambda: next(_store_ids))
+    A ``__slots__`` class — one is allocated per simulated store, so it
+    sits on the hot path.
+    """
+
+    __slots__ = ("word", "value", "line", "issued", "bouncing", "retries",
+                 "ordered", "word_mask", "po", "store_id")
+
+    def __init__(self, word: int, value: int, line: int):
+        self.word = word
+        self.value = value
+        self.line = line
+        #: set by the drain engine while a coherence transaction is in flight
+        self.issued = False
+        #: currently in bounced-retry state (hit a remote BS)
+        self.bouncing = False
+        #: number of retries so far for this store
+        self.retries = 0
+        #: O bit — promote the next retry to an Order request (WS+)
+        self.ordered = False
+        #: word bitmask for Conditional Order requests (SW+); 0 = plain
+        self.word_mask = 0
+        #: program-order index of the store in its thread (SCV recorder)
+        self.po = 0
+        self.store_id = next(_store_ids)
 
 
 class WriteBuffer:
@@ -62,9 +68,9 @@ class WriteBuffer:
     # --- enqueue / dequeue ----------------------------------------------
 
     def push(self, word: int, value: int, line: int) -> StoreEntry:
-        """Append a retired store.  Caller must check ``full`` first."""
-        assert not self.full, "write buffer overflow (caller must stall)"
-        entry = StoreEntry(word=word, value=value, line=line)
+        """Append a retired store.  The caller must check ``full`` first
+        and stall the core on overflow — push never checks."""
+        entry = StoreEntry(word, value, line)
         self._entries.append(entry)
         return entry
 
@@ -85,6 +91,8 @@ class WriteBuffer:
     def forward_entry(self, word: int) -> Optional[StoreEntry]:
         """Newest buffered entry to *word* (the forwarding source), if
         any — callers that record dependences need the entry's po."""
+        if not self._entries:
+            return None
         for entry in reversed(self._entries):
             if entry.word == word:
                 return entry

@@ -30,6 +30,14 @@ from repro.runtime.sync import SpinLock
 #: sentinel returned when no task was obtained
 EMPTY = None
 
+#: interned scheduler ops — one immutable instance each, yielded once
+#: (or more) per task by every worker
+_FENCE_TAKE = ops.Fence(FenceRole.CRITICAL)
+_FENCE_STEAL = ops.Fence(FenceRole.STANDARD)
+_MARK_STOLEN = ops.Mark("task_stolen")
+_MARK_EXECUTED = ops.Mark("task_executed")
+_IDLE_SPIN = ops.Compute(60)
+
 
 class WorkDeque:
     """One worker's THE deque in simulated memory."""
@@ -44,6 +52,10 @@ class WorkDeque:
         self.slots = alloc.alloc_line(capacity)
         self.lock = SpinLock(alloc)
         self._word_bytes = alloc.amap.word_bytes
+        # interned loads of the two protocol words (fixed addresses,
+        # read on every push/take/steal)
+        self._ld_tail = ops.Load(self.tail_addr)
+        self._ld_head = ops.Load(self.head_addr)
 
     def slot(self, index: int) -> int:
         return self.slots + (index % self.capacity) * self._word_bytes
@@ -53,7 +65,7 @@ class WorkDeque:
     def push(self, task_id: int):
         """Owner appends a task at the tail (task ids are 1-based;
         0 marks an empty slot)."""
-        tail = yield ops.Load(self.tail_addr)
+        tail = yield self._ld_tail
         yield ops.Store(self.slot(tail), task_id)
         # TSO orders the slot store before the tail publication.
         yield ops.Store(self.tail_addr, tail + 1)
@@ -61,17 +73,17 @@ class WorkDeque:
     def take(self):
         """Owner removes a task from the tail (THE fast path + lock
         fallback).  Returns the task id or EMPTY."""
-        tail = yield ops.Load(self.tail_addr)
+        tail = yield self._ld_tail
         t = tail - 1
         yield ops.Store(self.tail_addr, t)
-        yield ops.Fence(FenceRole.CRITICAL)
-        head = yield ops.Load(self.head_addr)
+        yield _FENCE_TAKE
+        head = yield self._ld_head
         if head > t:
             # deque looked empty or a thief is racing for the last task:
             # restore and resolve under the lock.
             yield ops.Store(self.tail_addr, t + 1)
             yield from self.lock.acquire(self.owner)
-            head = yield ops.Load(self.head_addr)
+            head = yield self._ld_head
             if head > t:
                 yield from self.lock.release(self.owner)
                 return EMPTY
@@ -87,10 +99,10 @@ class WorkDeque:
     def steal(self, thief: int):
         """A thief removes a task from the head.  Returns id or EMPTY."""
         yield from self.lock.acquire(thief)
-        head = yield ops.Load(self.head_addr)
+        head = yield self._ld_head
         yield ops.Store(self.head_addr, head + 1)
-        yield ops.Fence(FenceRole.STANDARD)
-        tail = yield ops.Load(self.tail_addr)
+        yield _FENCE_STEAL
+        tail = yield self._ld_tail
         if tail < head + 1:
             # nothing to steal: undo the head increment
             yield ops.Store(self.head_addr, head)
@@ -113,6 +125,7 @@ class WorkStealingRuntime:
         #: steady-state increments are cheap owner writes); idle workers
         #: sum them against the app's known task total to terminate.
         self.executed_addrs = alloc.alloc_words_padded(num_workers)
+        self._ld_executed = tuple(ops.Load(a) for a in self.executed_addrs)
 
     def worker_loop(self, ctx, app, executed: Optional[list] = None):
         """The scheduler loop: take / execute / push children / steal.
@@ -135,17 +148,17 @@ class WorkStealingRuntime:
                 victim = self._pick_victim(ctx)
                 task = yield from self.deques[victim].steal(me)
                 if task is not EMPTY:
-                    yield ops.Mark("task_stolen")
+                    yield _MARK_STOLEN
             if task is EMPTY:
-                yield ops.Compute(60)
+                yield _IDLE_SPIN
                 total = 0
-                for w in range(self.num_workers):
-                    total += yield ops.Load(self.executed_addrs[w])
+                for ld in self._ld_executed:
+                    total += yield ld
                 if total >= app.total_tasks:
                     return
                 continue
             children = yield from app.run_task(task)
-            yield ops.Mark("task_executed")
+            yield _MARK_EXECUTED
             if executed is not None:
                 executed.append(task)
             my_done += 1

@@ -89,6 +89,9 @@ class Machine:
             l1.banks = self.banks
             l1.recorder = self.recorder
         self._spawned = 0
+        #: count of cores currently done (wake-on-event stop condition);
+        #: resynced at the top of run(), maintained by core_done_changed.
+        self._done_cores = 0
         self._watchdog = Watchdog(self, params.watchdog_interval)
 
     # ------------------------------------------------------------------
@@ -109,7 +112,12 @@ class Machine:
             seed=self.seed * 1_000_003 + cid,
             shared=shared,
         )
-        self.cores[cid].bind(SimThread(fn, ctx))
+        # only W+ (needs_checkpoint) ever replays a thread; other
+        # designs skip the per-op replay-log bookkeeping entirely
+        self.cores[cid].bind(
+            SimThread(fn, ctx,
+                      keep_log=self.cores[cid].policy.needs_checkpoint)
+        )
         self._spawned = max(self._spawned, cid + 1)
         return self.cores[cid]
 
@@ -128,6 +136,24 @@ class Machine:
             for core in self.cores
         )
 
+    def core_done_changed(self, done: bool) -> None:
+        """Wake-on-event stop: a core crossed its done/not-done boundary.
+
+        Cores report the transition (thread finished + write buffer
+        drained, or the reverse on a W+ rollback) instead of the event
+        loop polling ``_all_done`` before every event; when the last
+        core goes idle the queue's stop flag is raised and ``run``
+        returns at exactly the same event boundary the poll would have
+        caught.
+        """
+        if done:
+            self._done_cores += 1
+            if self._done_cores == len(self.cores):
+                self.queue.request_stop()
+        else:
+            self._done_cores -= 1
+            self.queue.clear_stop()
+
     def thread_finished(self, core: Core) -> None:
         """Callback from a core whose thread ran out of operations."""
         core._kick_drain()  # flush any leftover buffered stores
@@ -137,15 +163,31 @@ class Machine:
         limit = max_cycles or self.params.max_cycles or None
         for core in self.cores:
             core.start()
+        # seed the done-core counter; cores keep it current from here
+        n_done = 0
+        for core in self.cores:
+            done = (core.thread is None or core.finished) and core.wb.empty
+            core._done = done
+            n_done += done
+        self._done_cores = n_done
+        self.queue.clear_stop()
+        if n_done == len(self.cores):
+            self.queue.request_stop()
         self._watchdog.start()
-        self.queue.run(until=limit, stop_when=self._all_done)
+        self.queue.run(until=limit)
         self._watchdog.stop()
         completed = self._all_done()
         if completed:
             # drain in-flight protocol events (writebacks, GRT
             # withdrawals, late replies) so post-run state inspection
             # sees a quiesced machine; bounded in case of stray timers.
+            self.queue.clear_stop()
             self.queue.run(until=self.queue.now + 10_000)
+        elif any(core.recovering for core in self.cores):
+            # the cycle budget ran out while a W+ rollback was still
+            # draining its write buffer: the run is incomplete because
+            # of the budget, not a hang — flag it so callers can tell.
+            self.stats.cutoff_in_recovery = True
         self.stats.cycles = self.queue.now
         events = self.recorder.events if self.recorder else None
         return SimResult(

@@ -38,14 +38,29 @@ class TxnAbort(Exception):
     """Raised inside a transaction body to trigger abort-and-retry."""
 
 
-class LockObject:
-    """Reader-flag array + writer field for one shared word."""
+#: interned barrier ops — immutable value types yielded millions of
+#: times from the barrier inner loops; reusing one instance per shape
+#: removes the dominant allocation cost of the STM op stream.
+_FENCE_READ = ops.Fence(FenceRole.CRITICAL)
+_FENCE_WRITE = ops.Fence(FenceRole.STANDARD)
+_WRITER_SPIN = ops.Compute(60)
 
-    __slots__ = ("reader_flags", "writer_addr")
+
+class LockObject:
+    """Reader-flag array + writer field for one shared word.
+
+    ``rd_ops``/``wr_ops`` lazily cache the per-thread interned op
+    objects for the read/write barriers (built on a thread's first
+    barrier on this lock, so untouched locks cost nothing).
+    """
+
+    __slots__ = ("reader_flags", "writer_addr", "rd_ops", "wr_ops")
 
     def __init__(self, reader_flags: List[int], writer_addr: int):
         self.reader_flags = reader_flags
         self.writer_addr = writer_addr
+        self.rd_ops = [None] * len(reader_flags)
+        self.wr_ops = [None] * len(reader_flags)
 
 
 class TlrwStm:
@@ -123,43 +138,68 @@ class TlrwStm:
         the writer it waits for), backs off, and retries the barrier a
         few times before raising TxnAbort.
         """
-        lock = self.lock_for(word)
+        lock = self.locks[word]
+        cached = lock.rd_ops[tid]
+        if cached is None:
+            cached = lock.rd_ops[tid] = (
+                ops.Store(lock.reader_flags[tid], 1),
+                ops.Load(lock.writer_addr),
+                ops.Store(lock.reader_flags[tid], 0),
+                tuple(ops.Compute(40 * (a + 1))
+                      for a in range(self.READER_PATIENCE)),
+            )
+        set_flag, load_writer, clr_flag, backoffs = cached
         for attempt in range(self.READER_PATIENCE):
-            yield ops.Store(lock.reader_flags[tid], 1)
-            yield ops.Fence(FenceRole.CRITICAL)
-            writer = yield ops.Load(lock.writer_addr)
+            yield set_flag
+            yield _FENCE_READ
+            writer = yield load_writer
             if writer in (0, tid + 1):
                 return
-            yield ops.Store(lock.reader_flags[tid], 0)
-            yield ops.Compute(40 * (attempt + 1))
+            yield clr_flag
+            yield backoffs[attempt]
         raise TxnAbort(f"writer {writer} holds {word:#x}")
 
     def read_release(self, word: int, tid: int):
-        lock = self.lock_for(word)
-        yield ops.Store(lock.reader_flags[tid], 0)
+        lock = self.locks[word]
+        cached = lock.rd_ops[tid]
+        if cached is None:  # pragma: no cover - release implies acquire
+            yield ops.Store(lock.reader_flags[tid], 0)
+        else:
+            yield cached[2]
 
     def write_acquire(self, word: int, tid: int):
         """Paper Fig. 5b write(): writer acquire, fence, reader check."""
-        lock = self.lock_for(word)
-        old = yield ops.AtomicRMW(lock.writer_addr, "cas", (0, tid + 1))
+        lock = self.locks[word]
+        cached = lock.wr_ops[tid]
+        if cached is None:
+            cached = lock.wr_ops[tid] = (
+                ops.AtomicRMW(lock.writer_addr, "cas", (0, tid + 1)),
+                tuple(ops.Load(lock.reader_flags[other])
+                      for other in range(self.num_threads) if other != tid),
+                ops.Store(lock.writer_addr, 0),
+            )
+        cas_writer, load_flags, clear_writer = cached
+        old = yield cas_writer
         if old not in (0, tid + 1):
             raise TxnAbort(f"writer {old} holds {word:#x}")
-        yield ops.Fence(FenceRole.STANDARD)
+        yield _FENCE_WRITE
         for _ in range(self.WRITER_PATIENCE):
             busy = False
-            for other in range(self.num_threads):
-                if other == tid:
-                    continue
-                flag = yield ops.Load(lock.reader_flags[other])
+            for load_flag in load_flags:
+                flag = yield load_flag
                 if flag:
                     busy = True
                     break
             if not busy:
                 return
-            yield ops.Compute(60)
-        yield ops.Store(lock.writer_addr, 0)
+            yield _WRITER_SPIN
+        yield clear_writer
         raise TxnAbort(f"readers pinned {word:#x}")
 
     def write_release(self, word: int, tid: int):
-        lock = self.lock_for(word)
-        yield ops.Store(lock.writer_addr, 0)
+        lock = self.locks[word]
+        cached = lock.wr_ops[tid]
+        if cached is None:  # pragma: no cover - release implies acquire
+            yield ops.Store(lock.writer_addr, 0)
+        else:
+            yield cached[2]

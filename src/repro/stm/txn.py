@@ -20,6 +20,14 @@ from repro.common.params import FenceRole
 from repro.core import isa as ops
 from repro.stm.tlrw import TlrwStm, TxnAbort
 
+#: interned per-transaction bookkeeping ops (immutable value types —
+#: one instance serves every transaction of every thread)
+_FENCE_COMMIT = ops.Fence(FenceRole.STANDARD)
+_MARK_BEGIN = ops.Mark("txn_cycles_begin")
+_MARK_END = ops.Mark("txn_cycles_end")
+_MARK_ABORT = ops.Mark("txn_abort")
+_MARK_COMMIT = ops.Mark("txn_commit")
+
 
 class Txn:
     """One transaction attempt's state (read/write sets, undo log)."""
@@ -77,7 +85,7 @@ class Txn:
         release store can be observed.
         """
         if self._write_held:
-            yield ops.Fence(FenceRole.STANDARD)
+            yield _FENCE_COMMIT
             for word in self.write_set:
                 yield from self.stm.write_release(word, self.tid)
         for word in self.read_set:
@@ -90,7 +98,7 @@ class Txn:
         for word, old in reversed(self.undo_log):
             yield ops.Store(word, old)
         if self.undo_log:
-            yield ops.Fence(FenceRole.STANDARD)
+            yield _FENCE_COMMIT
         for word in self.write_set:
             yield from self.stm.write_release(word, self.tid)
         for word in self.read_set:
@@ -113,6 +121,7 @@ def run_transactions(
     synchronized retries would otherwise livelock under contention.
     """
     tid = ctx.tid
+    think_op = ops.Compute(think_instructions) if think_instructions else None
     # desynchronize thread start so first transactions do not collide
     yield ops.Compute(ctx.rng.randrange(20, 260))
     for i in range(count):
@@ -120,13 +129,13 @@ def run_transactions(
         attempt = 0
         while True:
             txn = Txn(stm, tid)
-            yield ops.Mark("txn_cycles_begin")
+            yield _MARK_BEGIN
             try:
                 result = yield from body(txn)
             except TxnAbort:
                 yield from txn.abort()
-                yield ops.Mark("txn_cycles_end")
-                yield ops.Mark("txn_abort")
+                yield _MARK_END
+                yield _MARK_ABORT
                 attempt += 1
                 if attempt >= max_attempts:
                     break  # give up on this transaction (counted aborted)
@@ -134,8 +143,8 @@ def run_transactions(
                 yield ops.Compute(ctx.rng.randrange(base // 2, base + 1))
                 continue
             yield from txn.commit()
-            yield ops.Mark("txn_cycles_end")
-            yield ops.Mark("txn_commit")
+            yield _MARK_END
+            yield _MARK_COMMIT
             break
-        if think_instructions:
-            yield ops.Compute(think_instructions)
+        if think_op is not None:
+            yield think_op

@@ -105,3 +105,216 @@ def test_empty_and_peek():
     q.schedule(4, lambda: None)
     assert not q.empty()
     assert q.peek_time() == 4
+
+
+def test_step_runs_one_event_and_advances_clock():
+    q = EventQueue()
+    fired = []
+    q.schedule(2, lambda: fired.append("a"))
+    q.schedule(5, lambda: fired.append("b"))
+    assert q.step()
+    assert (fired, q.now) == (["a"], 2)
+    assert q.step()
+    assert (fired, q.now) == (["a", "b"], 5)
+    assert not q.step()  # drained
+
+
+def test_step_skips_cancelled_events():
+    q = EventQueue()
+    fired = []
+    ev = q.schedule(1, lambda: fired.append("x"))
+    q.schedule(2, lambda: fired.append("y"))
+    ev.cancel()
+    assert q.step()
+    assert fired == ["y"]
+
+
+def test_event_accessors():
+    q = EventQueue()
+    fn = lambda: None  # noqa: E731
+    ev = q.schedule(3, fn, label="test.ev")
+    assert ev.time == 3
+    assert ev.seq == 1
+    assert ev.fn is fn
+    assert ev.label == "test.ev"
+    assert not ev.cancelled
+    ev.cancel()
+    assert ev.cancelled
+    assert ev.fn is None
+
+
+def test_executed_counter_tracks_dispatches():
+    q = EventQueue()
+    for _ in range(4):
+        q.schedule(1, lambda: None)
+    cancelled = q.schedule(1, lambda: None)
+    cancelled.cancel()
+    q.run()
+    assert q.executed == 4
+
+
+# ---------------------------------------------------------------------------
+# wake-on-event (request_stop / clear_stop)
+# ---------------------------------------------------------------------------
+
+
+def test_request_stop_halts_before_next_event():
+    q = EventQueue()
+    fired = []
+    q.schedule(1, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(2, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    assert q.stop_requested
+
+
+def test_clear_stop_resumes_where_it_left_off():
+    q = EventQueue()
+    fired = []
+    q.schedule(1, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(2, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    # wake-after-deschedule: clearing the flag and re-running resumes
+    # with the remaining events, clock monotone
+    q.clear_stop()
+    q.run()
+    assert fired == ["a", "b"]
+    assert q.now == 2
+
+
+def test_stop_requested_midbatch_preserves_remaining_events():
+    """Stopping during a same-cycle batch must not lose batch-mates."""
+    q = EventQueue()
+    fired = []
+    q.schedule(3, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(3, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    q.clear_stop()
+    q.run()
+    assert fired == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# slot reuse (free-list recycling)
+# ---------------------------------------------------------------------------
+
+
+def test_held_handle_is_not_recycled():
+    """An Event handle the caller kept must stay valid (cancellable)
+    after it fires — recycling may only claim dropped handles."""
+    q = EventQueue()
+    fired = []
+    held = q.schedule(1, lambda: fired.append("held"))
+    # a burst of dropped-handle events to churn the free list
+    for i in range(32):
+        q.schedule(2, lambda i=i: fired.append(i))
+    q.run(until=1)
+    assert fired == ["held"]
+    # the held entry must not have been recycled into a pending event:
+    # cancelling it now must not cancel anything scheduled above
+    held.cancel()
+    q.run()
+    assert fired == ["held"] + list(range(32))
+
+
+def test_recycled_slots_preserve_fifo_order():
+    """Slot reuse must never perturb same-cycle FIFO order."""
+    q = EventQueue()
+    order = []
+    # phase 1: fire-and-drop events to populate the free list
+    for i in range(8):
+        q.schedule(1, lambda: None)
+    q.run()
+    # phase 2: recycled slots must still dispatch in schedule order
+    for i in range(16):
+        q.schedule(5, lambda i=i: order.append(i))
+    q.run()
+    assert order == list(range(16))
+
+
+def test_cancel_after_fire_is_harmless():
+    q = EventQueue()
+    fired = []
+    ev = q.schedule(1, lambda: fired.append("x"))
+    q.run()
+    ev.cancel()  # no-op: already fired
+    q.schedule(1, lambda: fired.append("y"))
+    q.run()
+    assert fired == ["x", "y"]
+
+
+# ---------------------------------------------------------------------------
+# property test: dispatch is a stable sort by (cycle, insertion seq)
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=60),
+    cancel_mask=st.lists(st.booleans(), min_size=60, max_size=60),
+)
+def test_dispatch_is_stable_sort_by_cycle_then_seq(delays, cancel_mask):
+    """Random schedules dispatch exactly as the stable sort of
+    (absolute cycle, insertion order), with cancelled events removed."""
+    q = EventQueue()
+    fired = []
+    handles = []
+    for i, d in enumerate(delays):
+        handles.append(q.schedule(d, lambda i=i: fired.append(i)))
+    cancelled = set()
+    for i, (h, kill) in enumerate(zip(handles, cancel_mask)):
+        if kill:
+            h.cancel()
+            cancelled.add(i)
+    q.run()
+    expected = [
+        i for _, i in sorted(
+            (d, i) for i, d in enumerate(delays) if i not in cancelled
+        )
+    ]
+    assert fired == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    spec=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10),   # outer delay
+                  st.integers(min_value=0, max_value=10)),  # nested delay
+        min_size=1, max_size=25,
+    ),
+)
+def test_nested_schedules_keep_global_order(spec):
+    """Events scheduled from inside callbacks obey the same (cycle,
+    seq) order as everything else — including same-cycle re-entry."""
+    q = EventQueue()
+    fired = []
+    expected_times = []
+
+    def make_nested(tag, t_abs):
+        def nested():
+            fired.append((q.now, tag))
+        return nested
+
+    def make_outer(i, nested_delay):
+        def outer():
+            t_nested = q.now + nested_delay
+            expected_times.append((q.now, ("outer", i)))
+            expected_times.append((t_nested, ("nested", i)))
+            fired.append((q.now, ("outer", i)))
+            q.schedule(nested_delay, make_nested(("nested", i), t_nested))
+        return outer
+
+    for i, (outer_delay, nested_delay) in enumerate(spec):
+        q.schedule(outer_delay, make_outer(i, nested_delay))
+    q.run()
+    # every event fired at its scheduled absolute time...
+    assert sorted(fired) == sorted(expected_times)
+    # ...and the dispatch sequence is non-decreasing in time
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
