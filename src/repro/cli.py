@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``      run one workload under one (or all) fence designs
+``trace``    run one workload with tracing on and explore its timeline
 ``litmus``   run a litmus kernel across designs and report outcomes
 ``verify``   schedule-exploration verification (SCV/deadlock hunting)
 ``perf``     time the pinned perf matrix, snapshot + regression check
@@ -14,6 +15,8 @@ Examples::
 
     python -m repro list
     python -m repro run fib --design WS+ --cores 8 --scale 0.5
+    python -m repro run fib --design wplus --trace-out t.json
+    python -m repro trace Counter --design W+ --scale 0.25 --out t.json
     python -m repro run TreeOverwrite --all-designs
     python -m repro litmus sb --design W+
     python -m repro verify --designs all --budget 200
@@ -42,14 +45,28 @@ DESIGN_BY_NAME = {str(d): d for d in FenceDesign}
 DESIGN_BY_NAME.update({d.name: d for d in FenceDesign})
 
 
+def _norm_design_key(value: str) -> str:
+    return "".join(ch for ch in value.lower() if ch.isalnum())
+
+
+#: case/punctuation-insensitive aliases: "wplus", "w+", "WS_PLUS", ...
+DESIGN_ALIASES = {}
+for _d in FenceDesign:
+    DESIGN_ALIASES[_norm_design_key(str(_d))] = _d
+    DESIGN_ALIASES[_norm_design_key(_d.name)] = _d
+del _d
+
+
 def _design(value: str) -> FenceDesign:
-    try:
-        return DESIGN_BY_NAME[value]
-    except KeyError:
+    design = DESIGN_BY_NAME.get(value)
+    if design is None:
+        design = DESIGN_ALIASES.get(_norm_design_key(value))
+    if design is None:
         raise argparse.ArgumentTypeError(
             f"unknown design {value!r}; choose from "
             f"{', '.join(str(d) for d in FenceDesign)}"
         )
+    return design
 
 
 def cmd_list(_args) -> int:
@@ -68,6 +85,14 @@ def _print_run(run) -> None:
     total = sum(t.values()) or 1.0
     print(f"{run.name} under {run.design} on {run.num_cores} cores:")
     print(f"  cycles        : {run.cycles}")
+    if run.result.completed:
+        completed = "yes"
+    elif s.cutoff_in_recovery:
+        # max_cycles landed mid-W+-recovery: a budget artifact, not a hang
+        completed = "no (cycle budget hit during W+ recovery)"
+    else:
+        completed = "no (cycle budget hit)"
+    print(f"  completed     : {completed}")
     print(f"  instructions  : {s.total_instructions}")
     print(f"  busy / fence / other stall : "
           f"{t['busy'] / total:.1%} / {t['fence_stall'] / total:.1%} / "
@@ -84,6 +109,27 @@ def _print_run(run) -> None:
               f"{s.order_ops} / {s.cond_order_ops} / {s.wplus_recoveries}")
 
 
+def _trace_out_path(path: str, design, multi: bool) -> str:
+    """Per-design output path when tracing several designs at once."""
+    if not multi:
+        return path
+    base, ext = os.path.splitext(path)
+    return f"{base}.{_norm_design_key(str(design))}{ext or '.json'}"
+
+
+def _export_trace(obs, run, out_path: str, fmt: str) -> None:
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    label = f"{run.name}:{run.design}"
+    if fmt == "jsonl":
+        write_jsonl(out_path, obs.tracer, obs.metrics, label=label)
+    else:
+        write_chrome_trace(out_path, obs.tracer, obs.metrics, label=label)
+    print(f"  [trace written to {out_path} ({fmt})"
+          + ("; load it at https://ui.perfetto.dev or chrome://tracing"
+             if fmt == "chrome" else "") + "]")
+
+
 def cmd_run(args) -> int:
     load_all_workloads()
     if args.workload not in REGISTRY:
@@ -91,12 +137,24 @@ def cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     designs = list(FenceDesign) if args.all_designs else [args.design]
+    tracing = args.trace or args.trace_out is not None
     baseline = None
     for design in designs:
+        obs = None
+        if tracing:
+            from repro.obs import Observability
+
+            obs = Observability(metrics_interval=args.metrics_interval)
         run = run_workload(args.workload, design, num_cores=args.cores,
                            scale=args.scale, seed=args.seed,
-                           check=args.check)
+                           check=args.check, obs=obs)
         _print_run(run)
+        if obs is not None and args.trace_out is not None:
+            _export_trace(
+                obs, run,
+                _trace_out_path(args.trace_out, design, len(designs) > 1),
+                args.trace_format,
+            )
         metric = run.throughput if run.group == "ustm" else run.cycles
         if baseline is None:
             baseline = metric or 1
@@ -104,7 +162,38 @@ def cmd_run(args) -> int:
             print(f"  throughput vs {designs[0]} : {metric / baseline:.2f}x")
         else:
             print(f"  time vs {designs[0]} : {metric / baseline:.2f}x")
+        if obs is not None and args.trace:
+            from repro.obs.summary import render_trace_summary
+
+            print()
+            print(render_trace_summary(obs.tracer, stats=run.stats))
         print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one workload with tracing on and explore its timeline."""
+    from repro.obs import Observability
+    from repro.obs.summary import render_metrics_summary, render_trace_summary
+
+    load_all_workloads()
+    if args.workload not in REGISTRY:
+        print(f"unknown workload {args.workload!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    obs = Observability(metrics_interval=args.metrics_interval)
+    run = run_workload(args.workload, args.design, num_cores=args.cores,
+                       scale=args.scale, seed=args.seed, obs=obs)
+    _print_run(run)
+    print()
+    print(render_trace_summary(obs.tracer, stats=run.stats, top=args.top))
+    metrics_text = render_metrics_summary(obs.metrics)
+    if metrics_text:
+        print()
+        print(metrics_text)
+    if args.out is not None:
+        print()
+        _export_trace(obs, run, args.out, args.format)
     return 0
 
 
@@ -275,6 +364,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=12345)
     p_run.add_argument("--check", action="store_true",
                        help="run the workload's invariant checks")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record an episode trace and print its summary")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a trace and export it to PATH "
+                            "(implies tracing)")
+    p_run.add_argument("--trace-format", default="chrome",
+                       choices=("chrome", "jsonl"),
+                       help="export format for --trace-out "
+                            "(default: chrome trace_event JSON)")
+    p_run.add_argument("--metrics-interval", type=int, default=None,
+                       metavar="CYCLES",
+                       help="also sample interval metrics every N cycles "
+                            "while tracing")
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one workload with tracing on and explore its timeline",
+    )
+    p_tr.add_argument("workload")
+    p_tr.add_argument("--design", type=_design, default=FenceDesign.S_PLUS)
+    p_tr.add_argument("--cores", type=int, default=8)
+    p_tr.add_argument("--scale", type=float, default=0.5)
+    p_tr.add_argument("--seed", type=int, default=12345)
+    p_tr.add_argument("--top", type=int, default=10,
+                      help="rows per top-N table (default 10)")
+    p_tr.add_argument("--metrics-interval", type=int, default=1000,
+                      metavar="CYCLES",
+                      help="interval-metrics sampling period "
+                           "(default 1000 cycles)")
+    p_tr.add_argument("--out", default=None, metavar="PATH",
+                      help="also export the trace to PATH")
+    p_tr.add_argument("--format", default="chrome",
+                      choices=("chrome", "jsonl"),
+                      help="export format for --out (default: chrome)")
 
     p_lit = sub.add_parser("litmus", help="run a litmus kernel")
     p_lit.add_argument("kernel", choices=sorted(LITMUS_KERNELS))
@@ -348,6 +471,7 @@ def main(argv=None) -> int:
     handler = {
         "list": cmd_list,
         "run": cmd_run,
+        "trace": cmd_trace,
         "litmus": cmd_litmus,
         "verify": cmd_verify,
         "perf": cmd_perf,

@@ -12,6 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+#: Retention cap for the BS-occupancy sample list. Aggregates (mean /
+#: max) are tracked exactly in running form regardless of this cap; the
+#: retained list is only the shape-preserving timeline, decimated by
+#: stride doubling once it fills.
+BS_SAMPLE_CAP = 2048
+
 
 class CoreCycleBreakdown:
     """Per-core cycle accounting matching the stacked bars of Figs 8/10/11."""
@@ -41,6 +47,8 @@ class MachineStats:
     __slots__ = (
         "num_cores", "breakdown", "instructions", "sf_executed",
         "wf_executed", "wee_sf_conversions", "bs_occupancy_samples",
+        "bs_occupancy_count", "bs_occupancy_sum", "bs_occupancy_max",
+        "_bs_sample_stride", "_bs_sample_phase",
         "bs_insertions", "bs_overflow_stalls", "load_replays", "bounces",
         "write_retries", "bounced_writes", "order_ops", "cond_order_ops",
         "cond_order_failures", "wplus_timeouts", "wplus_recoveries",
@@ -65,6 +73,13 @@ class MachineStats:
 
         # bypass-set behaviour
         self.bs_occupancy_samples: List[int] = []
+        # exact running aggregates over *all* samples (the retained list
+        # above is bounded, so mean/max must not be derived from it)
+        self.bs_occupancy_count = 0
+        self.bs_occupancy_sum = 0
+        self.bs_occupancy_max = 0
+        self._bs_sample_stride = 1
+        self._bs_sample_phase = 0
         self.bs_insertions = 0
         self.bs_overflow_stalls = 0
         #: post-fence loads replayed because an invalidation raced the
@@ -134,7 +149,26 @@ class MachineStats:
         self.breakdown[core].other_stall += cycles
 
     def sample_bs_occupancy(self, entries: int) -> None:
-        self.bs_occupancy_samples.append(entries)
+        """Record one wf-completion BS occupancy sample.
+
+        The mean/max come from exact running aggregates; the retained
+        list is capped at :data:`BS_SAMPLE_CAP` by keeping every
+        stride-th sample and doubling the stride (dropping every other
+        retained sample) each time the cap is hit, so arbitrarily long
+        runs hold a bounded, uniformly-thinned timeline.
+        """
+        self.bs_occupancy_count += 1
+        self.bs_occupancy_sum += entries
+        if entries > self.bs_occupancy_max:
+            self.bs_occupancy_max = entries
+        self._bs_sample_phase += 1
+        if self._bs_sample_phase >= self._bs_sample_stride:
+            self._bs_sample_phase = 0
+            samples = self.bs_occupancy_samples
+            samples.append(entries)
+            if len(samples) >= BS_SAMPLE_CAP:
+                del samples[::2]
+                self._bs_sample_stride *= 2
 
     # --- derived metrics (Table 4 columns) ----------------------------
 
@@ -165,10 +199,19 @@ class MachineStats:
 
     @property
     def mean_bs_lines(self) -> float:
-        """Average #line addresses in the BS of a wf (Table 4 col 5)."""
-        if not self.bs_occupancy_samples:
+        """Average #line addresses in the BS of a wf (Table 4 col 5).
+
+        Exact over every sample ever taken, independent of how many the
+        bounded ``bs_occupancy_samples`` list still retains.
+        """
+        if not self.bs_occupancy_count:
             return 0.0
-        return sum(self.bs_occupancy_samples) / len(self.bs_occupancy_samples)
+        return self.bs_occupancy_sum / self.bs_occupancy_count
+
+    @property
+    def max_bs_lines(self) -> int:
+        """Largest BS occupancy ever sampled (exact, cap-independent)."""
+        return self.bs_occupancy_max
 
     @property
     def bounces_per_wf(self) -> float:

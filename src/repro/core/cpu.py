@@ -87,6 +87,10 @@ class Core:
         self.l1 = l1
         self.image = image
         self.machine = machine
+        #: observability hook (repro.obs.Tracer) — None when disabled;
+        #: every emit site guards on ``self.tracer is None`` so the
+        #: untraced path costs one attribute load + identity test.
+        self.tracer = machine.tracer
         self.amap = l1.amap
         self.bs = l1.bs
         self.wb = WriteBuffer(params.write_buffer_entries)
@@ -453,6 +457,8 @@ class Core:
         entry = self.wb.pop_head()
         self._drain_busy = False
         self.stores_merged += 1
+        if self.tracer is not None and entry.bouncing:
+            self.tracer.store_chain_end(self.core_id, entry.store_id)
         self._on_store_completed(entry.store_id)
         self._kick_drain()
         self._refresh_done()
@@ -464,6 +470,11 @@ class Core:
         entry.bouncing = True
         entry.retries += 1
         self.stats.write_retries += 1
+        if self.tracer is not None:
+            self.tracer.store_bounce(
+                self.core_id, entry.store_id, entry.word, entry.line,
+                entry.retries, entry.ordered,
+            )
         self.policy.on_pre_store_bounce(entry)
         self._check_deadlock_monitor()
         self.queue.schedule(
@@ -515,6 +526,8 @@ class Core:
                 break  # e.g. Wee waiting for its GRT acknowledgment
             self.pending_fences.pop(0)
             self.stats.sample_bs_occupancy(len(self.bs))
+            if self.tracer is not None:
+                self.tracer.wf_complete(self.core_id, pf.fence_id, len(self.bs))
             self.bs.clear_upto(pf.fence_id)
             self.policy.on_wf_complete(pf)
 
@@ -535,7 +548,7 @@ class Core:
         if reason is not None:
             # an sf blocks later loads outright — forwarding past an
             # incomplete fence would leak the load ahead of the drain
-            self._stall_load(lambda: self._exec_load(op))
+            self._stall_load(lambda: self._exec_load(op), reason)
             return
         fwd = self.wb.forward_entry(word)
         if fwd is not None:
@@ -546,7 +559,7 @@ class Core:
                 line = self.amap.line_of(word)
                 if self.bs.full and not self.bs.match_line(line):
                     self.stats.bs_overflow_stalls += 1
-                    self._stall_load(lambda: self._exec_load(op))
+                    self._stall_load(lambda: self._exec_load(op), "bs_full")
                     return
                 self.bs.add(
                     line,
@@ -590,7 +603,8 @@ class Core:
                 # cannot track another line: the load waits for a fence
                 # to complete and clear BS space (WeeFence behaviour).
                 self.stats.bs_overflow_stalls += 1
-                self._stall_load(lambda: self._load_performed(op, word, po))
+                self._stall_load(lambda: self._load_performed(op, word, po),
+                                 "bs_full")
                 return
             self.bs.add(
                 self.amap.line_of(word),
@@ -602,17 +616,20 @@ class Core:
         value = self.image.read(word, self.core_id)
         self._advance(value)
 
-    def _stall_load(self, retry: Callable[[], None]) -> None:
+    def _stall_load(self, retry: Callable[[], None],
+                    reason: str = "fence") -> None:
         """Park a load until a fence completes (fence-induced stall)."""
-        self._stalled_load = (self._guard(retry), self.queue.now)
+        self._stalled_load = (self._guard(retry), self.queue.now, reason)
 
     def retry_stalled_load(self) -> None:
         """Re-attempt a parked load (fence completed / RemotePS arrived)."""
         if self._stalled_load is None:
             return
-        retry, t0 = self._stalled_load
+        retry, t0, reason = self._stalled_load
         self._stalled_load = None
         self.stats.breakdown[self.core_id].fence_stall += self.queue.now - t0
+        if self.tracer is not None:
+            self.tracer.load_stall(self.core_id, t0, reason)
         retry()
 
     # ------------------------------------------------------------------
@@ -627,8 +644,19 @@ class Core:
             self.stats.sf_executed[self.core_id] += 1
             custom = self.policy.custom_strong_fence
             if custom is not None:
-                custom(self._guard(lambda: self._advance(None)))
+                if self.tracer is None:
+                    custom(self._guard(lambda: self._advance(None)))
+                else:
+                    self.tracer.sf_begin(self.core_id)
+
+                    def sf_done():
+                        self.tracer.sf_end(self.core_id)
+                        self._advance(None)
+
+                    custom(self._guard(sf_done))
                 return
+            if self.tracer is not None:
+                self.tracer.sf_begin(self.core_id)
             self._run_strong_fence()
             return
         # weak fence
@@ -636,6 +664,8 @@ class Core:
             # no pending pre-fence stores: the fence completes at
             # retirement for every design (nothing to reorder past).
             self.stats.wf_executed[self.core_id] += 1
+            if self.tracer is not None:
+                self.tracer.wf_trivial(self.core_id)
             self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
             return
         self._fence_counter += 1
@@ -647,12 +677,18 @@ class Core:
             # Wee confinement failure: execute as a conventional fence
             self.stats.sf_executed[self.core_id] += 1
             self.stats.wee_sf_conversions[self.core_id] += 1
+            if self.tracer is not None:
+                self.tracer.sf_begin(self.core_id, demoted=True)
             self._run_strong_fence()
             return
         self.stats.wf_executed[self.core_id] += 1
         if self.policy.needs_checkpoint:
             pf.checkpoint = self.thread.checkpoint()
         self.pending_fences.append(pf)
+        if self.tracer is not None:
+            self.tracer.wf_retire(
+                self.core_id, pf.fence_id, len(self.wb._entries)
+            )
         self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
 
     def _run_strong_fence(self) -> None:
@@ -663,6 +699,8 @@ class Core:
             self.stats.add_fence_stall(
                 self.core_id, (self.queue.now - t0) + base
             )
+            if self.tracer is not None:
+                self.tracer.sf_end(self.core_id, extra=base)
             self._later(base, lambda: self._advance(None))
 
         self._wait_for_drain(self._guard(done))
@@ -708,6 +746,8 @@ class Core:
 
             def on_bounce() -> None:
                 self.stats.write_retries += 1
+                if self.tracer is not None:
+                    self.tracer.rmw_retry(self.core_id, word)
                 self.queue.schedule(
                     self.params.bounce_retry_cycles,
                     self._guard(issue),
@@ -749,6 +789,8 @@ class Core:
             self.params.wplus_timeout_cycles
             + self.core_id * self.params.wplus_timeout_jitter_cycles
         )
+        if self.tracer is not None:
+            self.tracer.timeout_armed(self.core_id, delay)
         self._dl_timer = self.queue.schedule(
             delay, self._dl_expired, "cpu.wplus_timeout"
         )
@@ -771,6 +813,12 @@ class Core:
         self.stats.wplus_recoveries += 1
         pf = self.pending_fences[0]
         assert pf.checkpoint is not None
+        tracer = self.tracer
+        fences_unwound = 0
+        if tracer is not None:
+            # close episode spans the rollback is about to squash
+            tracer.sf_abort(self.core_id)
+            fences_unwound = tracer.wf_unwind_all(self.core_id)
         self._epoch += 1  # invalidate in-flight thread continuations
         if self._cont_ev is not None:
             # the fast-path continuations are not epoch-guarded: squash
@@ -788,8 +836,14 @@ class Core:
         self.finished = False
         self.recovering = True
         self._refresh_done()
-        self.wb.drop_after(pf.last_store_id)
+        dropped_stores = self.wb.drop_after(pf.last_store_id)
+        bs_cleared = len(self.bs)
         self.bs.clear_all()
+        if tracer is not None:
+            tracer.recovery_begin(
+                self.core_id, pf.fence_id, pf.checkpoint,
+                dropped_stores, bs_cleared, fences_unwound,
+            )
         if self.machine.recorder is not None:
             self.machine.recorder.squash(self.core_id, pf.checkpoint)
         # squash side effects of the discarded (post-checkpoint) region:
@@ -810,6 +864,10 @@ class Core:
                 self.core_id,
                 (self.queue.now - t0) + self.params.wplus_recovery_cycles,
             )
+            if self.tracer is not None:
+                self.tracer.recovery_end(
+                    self.core_id, extra=self.params.wplus_recovery_cycles
+                )
             self._later(
                 self.params.wplus_recovery_cycles, lambda: self._advance(None)
             )

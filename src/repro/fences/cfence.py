@@ -86,9 +86,13 @@ class CFencePolicy(FencePolicy):
                     table.register(core.core_id, last_store)
                     core.register_cfence_clear(last_store, table)
                 core.stats.cfence_skips += 1
+                if core.tracer is not None:
+                    core.tracer.cfence_decision(core.core_id, True)
                 finish()
                 return
             core.stats.cfence_stalls += 1
+            if core.tracer is not None:
+                core.tracer.cfence_decision(core.core_id, False)
             # an associate executes: behave conventionally — drain the
             # write buffer, then wait for the associates to finish.
             core._wait_for_drain(core._guard(lambda: wait_clear()))

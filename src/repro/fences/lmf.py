@@ -40,11 +40,17 @@ class LocationFencePolicy(FencePolicy):
         if core.wb.empty:
             # nothing to order: the SC runs against a quiet line
             core.stats.lmf_fast += 1
+            if core.tracer is not None:
+                core.tracer.lmf_decision(core.core_id, True)
             return LMF_FAST_CYCLES
         newest = core.wb.snapshot()[-1]
         state = core.l1.cache.lookup(newest.line, touch=False)
         if state is not None and state.writable:
             core.stats.lmf_fast += 1
+            if core.tracer is not None:
+                core.tracer.lmf_decision(core.core_id, True)
             return LMF_FAST_CYCLES
         core.stats.lmf_fallbacks += 1
+        if core.tracer is not None:
+            core.tracer.lmf_decision(core.core_id, False)
         return core.params.sf_base_cycles

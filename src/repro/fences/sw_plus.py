@@ -22,15 +22,21 @@ class SWPlusPolicy(FencePolicy):
     fine_grain_bs = True
 
     def on_wf_retire(self, pf: PendingFence) -> bool:
-        self.core.wb.mark_ordered_upto(
-            pf.last_store_id, word_mask_fn=self.core.amap.word_mask
+        core = self.core
+        promoted = core.wb.mark_ordered_upto(
+            pf.last_store_id, word_mask_fn=core.amap.word_mask
         )
+        if promoted and core.tracer is not None:
+            core.tracer.order_promotion(core.core_id, promoted, True)
         return True
 
     def on_pre_store_bounce(self, entry) -> None:
-        if self._is_pre_wf(entry):
+        if self._is_pre_wf(entry) and not entry.ordered:
             entry.ordered = True
             entry.word_mask = self.core.amap.word_mask(entry.word)
+            core = self.core
+            if core.tracer is not None:
+                core.tracer.order_promotion(core.core_id, 1, True)
 
     def _is_pre_wf(self, entry) -> bool:
         return any(

@@ -79,5 +79,7 @@ class WeeFencePolicy(FencePolicy):
                 if not pf.wee_converted:
                     pf.wee_converted = True
                     core.recount_wee_conversion()
+                    if core.tracer is not None:
+                        core.tracer.wf_convert(core.core_id, pf.fence_id)
                 return "cross_bank"
         return None

@@ -25,12 +25,18 @@ class WSPlusPolicy(FencePolicy):
     design = FenceDesign.WS_PLUS
 
     def on_wf_retire(self, pf: PendingFence) -> bool:
-        self.core.wb.mark_ordered_upto(pf.last_store_id)
+        core = self.core
+        promoted = core.wb.mark_ordered_upto(pf.last_store_id)
+        if promoted and core.tracer is not None:
+            core.tracer.order_promotion(core.core_id, promoted, False)
         return True
 
     def on_pre_store_bounce(self, entry) -> None:
-        if self._is_pre_wf(entry):
+        if self._is_pre_wf(entry) and not entry.ordered:
             entry.ordered = True
+            core = self.core
+            if core.tracer is not None:
+                core.tracer.order_promotion(core.core_id, 1, False)
 
     def _is_pre_wf(self, entry) -> bool:
         return any(

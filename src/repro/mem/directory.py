@@ -93,6 +93,8 @@ class DirectoryBank:
         self.grt: Dict[tuple, Set[int]] = {}
         #: wired by the Machine: list of L1 controllers, index = core id
         self.controllers: List = []
+        #: observability hook (set by Machine.attach_tracer)
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # request entry points
@@ -102,8 +104,17 @@ class DirectoryBank:
         """A request message has arrived at this bank."""
         self.stats.coherence_transactions += 1
         if txn.kind is Msg.PUTM:
+            if self.tracer is not None:
+                self.tracer.dir_putm(self.bank_id, txn.line, txn.requester)
             self._receive_putm(txn)
             return
+        if self.tracer is not None:
+            # the span opens at arrival, so per-line FIFO queueing time
+            # is part of the transaction's timeline
+            self.tracer.dir_begin(
+                self.bank_id, txn.txn_id, txn.kind.value, txn.line,
+                txn.requester,
+            )
         if txn.line in self._busy:
             self._waiting.setdefault(txn.line, deque()).append(txn)
             return
@@ -252,12 +263,16 @@ class DirectoryBank:
     def _resolve_getx(self, txn: Transaction) -> None:
         if txn.kind is Msg.GETX and txn.bounced:
             self.stats.bounces += 1
+            if self.tracer is not None:
+                self.tracer.dir_bounce(self.bank_id, txn.line, txn.requester)
             self._reply(txn, Msg.NACK_BOUNCE)
             return
         if txn.kind is Msg.COND_ORDER and txn.true_sharing_seen:
             # CO failure: caches were invalidated, BS holders remain
             # sharers, the update is discarded; the requester retries.
             self.stats.cond_order_failures += 1
+            if self.tracer is not None:
+                self.tracer.dir_co_fail(self.bank_id, txn.line, txn.requester)
             self._reply(txn, Msg.NACK_BOUNCE)
             return
         self._grant(txn)
@@ -287,6 +302,11 @@ class DirectoryBank:
                 self.stats.order_ops += 1
             else:
                 self.stats.cond_order_ops += 1
+            if self.tracer is not None:
+                self.tracer.dir_order(
+                    self.bank_id, txn.line, txn.requester,
+                    txn.kind is Msg.COND_ORDER,
+                )
             # update merged at memory; everyone who kept a BS match stays
             # a sharer, the requester holds the line Shared (§3.3.1).
             entry.owner = None
@@ -309,6 +329,8 @@ class DirectoryBank:
             # reply (its MSHR completes): releasing earlier lets a later
             # request observe directory state ahead of the requester's
             # cache fill — a protocol race.
+            if self.tracer is not None:
+                self.tracer.dir_end(self.bank_id, txn.txn_id, kind.value)
             done(kind, txn)
             self._release(txn.line)
 

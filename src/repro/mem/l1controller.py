@@ -71,6 +71,8 @@ class L1Controller:
         self.on_bs_bounce: Optional[Callable[[], None]] = None
         #: SC-violation recorder (set by the Machine when tracking)
         self.recorder = None
+        #: observability hook (set by Machine.attach_tracer)
+        self.tracer = None
 
     def _note_po(self, po: int) -> None:
         if self.recorder is not None:
@@ -96,10 +98,13 @@ class L1Controller:
             return
         self.stats.l1_misses += 1
         txn = Transaction(kind=Msg.GETS, requester=self.core_id, line=line)
+        t0 = self.queue.now
 
         def done(reply: Msg, t: Transaction) -> None:
             state = LineState.E if t.granted_exclusive else LineState.S
             self._fill(line, state)
+            if self.tracer is not None:
+                self.tracer.l1_miss(self.core_id, line, "GetS", t0, "filled")
             on_done(False)
 
         txn.on_done = done
@@ -150,9 +155,14 @@ class L1Controller:
             ordered=entry.ordered,
             is_retry=entry.retries > 0,
         )
+        t0 = self.queue.now
 
         def done(reply: Msg, t: Transaction) -> None:
             if reply is Msg.NACK_BOUNCE:
+                if self.tracer is not None:
+                    self.tracer.l1_miss(
+                        self.core_id, line, t.kind.value, t0, "bounced"
+                    )
                 on_bounce()
                 return
             if t.kind in (Msg.ORDER, Msg.COND_ORDER):
@@ -161,6 +171,10 @@ class L1Controller:
                 self._fill(line, LineState.S)
             else:
                 self._fill(line, LineState.M)
+            if self.tracer is not None:
+                self.tracer.l1_miss(
+                    self.core_id, line, t.kind.value, t0, "merged"
+                )
             self._note_po(entry.po)
             self.image.write(entry.word, entry.value, self.core_id)
             on_done()
@@ -200,12 +214,19 @@ class L1Controller:
 
         self.stats.l1_misses += 1
         txn = Transaction(kind=Msg.GETX, requester=self.core_id, line=line)
+        t0 = self.queue.now
 
         def done(reply: Msg, t: Transaction) -> None:
             if reply is Msg.NACK_BOUNCE:
+                if self.tracer is not None:
+                    self.tracer.l1_miss(
+                        self.core_id, line, "GetX", t0, "bounced"
+                    )
                 on_bounce()
                 return
             self._fill(line, LineState.M)
+            if self.tracer is not None:
+                self.tracer.l1_miss(self.core_id, line, "GetX", t0, "merged")
             self._note_po(po)
             old, _new = self.image.rmw(word, apply_fn, self.core_id)
             on_done(old)
@@ -271,6 +292,8 @@ class L1Controller:
 
     def _writeback(self, victim_line: int) -> None:
         keep = {self.core_id} if self.bs.match_line(victim_line) else None
+        if self.tracer is not None:
+            self.tracer.writeback(self.core_id, victim_line, keep is not None)
         txn = Transaction(
             kind=Msg.PUTM,
             requester=self.core_id,
@@ -301,6 +324,15 @@ class L1Controller:
         """
         bank = self.banks[bank_id]
         lat_out = self.noc.send_cost(self.core_id, bank_id, Msg.GRT_DEPOSIT)
+        if self.tracer is not None:
+            t0 = self.queue.now
+            inner_done = on_done
+
+            def on_done(remote, _inner=inner_done, _t0=t0):
+                self.tracer.grt_deposit(
+                    self.core_id, bank_id, len(lines), _t0
+                )
+                _inner(remote)
 
         def deposit():
             remote = bank.grt_deposit(self.core_id, fence_id, set(lines))

@@ -51,6 +51,8 @@ class MeshNoc:
             for nbytes in self._bytes
         ]
         self._latency_cache: dict = {}
+        #: observability hook (set by Machine.attach_tracer)
+        self.tracer = None
 
     def coords(self, node: int) -> Tuple[int, int]:
         """XY coordinates of a tile (memory port sits at tile 0)."""
@@ -97,4 +99,6 @@ class MeshNoc:
         if lat is None:
             hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
             lat = cache[key] = hop_lat + self._ser_cycles[idx]
+        if self.tracer is not None:
+            self.tracer.noc_msg(src, dst, kind.value, nbytes, lat, retry)
         return lat

@@ -51,6 +51,10 @@ class WriteBuffer:
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: List[StoreEntry] = []
+        #: observability (set by Machine.attach_tracer): occupancy
+        #: counter samples on push/pop, zero-cost when ``tracer is None``
+        self.tracer = None
+        self.core_id = 0
 
     # --- occupancy -----------------------------------------------------
 
@@ -72,6 +76,8 @@ class WriteBuffer:
         and stall the core on overflow — push never checks."""
         entry = StoreEntry(word, value, line)
         self._entries.append(entry)
+        if self.tracer is not None:
+            self.tracer.wb_depth(self.core_id, len(self._entries))
         return entry
 
     def head(self) -> Optional[StoreEntry]:
@@ -79,7 +85,10 @@ class WriteBuffer:
 
     def pop_head(self) -> StoreEntry:
         """Remove the completed head store."""
-        return self._entries.pop(0)
+        entry = self._entries.pop(0)
+        if self.tracer is not None:
+            self.tracer.wb_depth(self.core_id, len(self._entries))
+        return entry
 
     # --- TSO forwarding ---------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""Observability: fence-episode tracing, interval metrics, exporters.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.tracer` — the :class:`Tracer`: typed span/instant
+  records emitted by guard-checked hooks inside the simulator (fence
+  episodes, bounce→retry chains, Order/CO directory transactions, W+
+  recovery timelines, L1 miss/writeback and NoC message spans).
+* :mod:`repro.obs.metrics` — the :class:`MetricsCollector`: a bounded
+  per-epoch timeseries sampler (BS/WB occupancy, outstanding bounces,
+  per-core cycle-breakdown deltas).
+* :mod:`repro.obs.export` / :mod:`repro.obs.summary` — Chrome
+  ``trace_event`` JSON (Perfetto / ``chrome://tracing``), a compact
+  JSONL stream, and the ``repro trace`` text timeline.
+
+Zero-cost-when-off contract: every hook site in the simulator is
+guarded by a plain ``tracer is None`` check on a cached attribute —
+no dynamic dispatch, no null-object method calls — so the untraced
+hot path stays within noise of the pre-observability kernel
+(referee: ``benchmarks/perf`` and :mod:`repro.obs.overhead`).
+"""
+
+from repro.obs.metrics import MetricsCollector
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "MetricsCollector",
+    "NULL_TRACER",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+]
+
+
+class Observability:
+    """One run's worth of observability state: tracer + metrics.
+
+    Construct, pass to :func:`repro.workloads.base.run_workload` (or
+    call :meth:`attach` on a hand-built machine before ``run()``), then
+    read ``tracer`` / ``metrics`` after the run::
+
+        obs = Observability(metrics_interval=1000)
+        run = run_workload("fib", FenceDesign.W_PLUS, obs=obs)
+        write_chrome_trace("t.json", obs.tracer, obs.metrics)
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics_interval=None,
+        max_events=None,
+        max_samples: int = 512,
+    ):
+        self.tracer = Tracer(max_events=max_events) if trace else None
+        self.metrics_interval = metrics_interval
+        self.max_samples = max_samples
+        self.metrics = None
+
+    def attach(self, machine) -> "Observability":
+        """Wire this session into *machine* (before ``machine.run()``)."""
+        if self.tracer is not None:
+            machine.attach_tracer(self.tracer)
+        if self.metrics_interval:
+            self.metrics = MetricsCollector(
+                machine,
+                interval=self.metrics_interval,
+                max_samples=self.max_samples,
+            )
+            machine.metrics = self.metrics
+        return self

@@ -1,0 +1,236 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a JSONL stream.
+
+Chrome format
+-------------
+``to_chrome_trace`` produces the *JSON Object Format* of the Trace
+Event spec — ``{"traceEvents": [...], ...}`` — loadable directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Mapping:
+
+* one Chrome *thread* per track: tid ``c`` for core ``c``, tid
+  ``100+b`` for directory bank ``b``, tid 900 for the NoC, tid 901 for
+  interval metrics — each named via ``thread_name`` metadata so the UI
+  shows ``core 0``, ``dir 1``, ``noc`` swimlanes;
+* spans become complete events (``"ph": "X"``) with ``ts``/``dur`` in
+  microseconds at 1 cycle = 1 µs (cycle numbers read directly off the
+  Perfetto time axis);
+* instants become ``"ph": "i"`` thread-scoped events;
+* counter samples (write-buffer depth, interval metrics) become
+  ``"ph": "C"`` counter events, one series per core.
+
+JSONL format
+------------
+``write_jsonl`` emits one JSON object per line: a ``meta`` header,
+every trace record (``type: "event"``), then interval-metrics samples
+(``type: "metrics"``).  It is the compact machine-readable stream for
+ad-hoc analysis (``jq``, pandas) where the Chrome envelope gets in the
+way.
+
+``validate_chrome_trace`` is the schema check CI runs against every
+exported trace; it is intentionally dependency-free (no jsonschema).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import TRACK_DIR_BASE, TRACK_METRICS, TRACK_NOC, Tracer
+
+#: Chrome pid used for the whole simulated machine
+PID = 1
+
+
+def track_name(track: int) -> str:
+    """Human-readable lane name for a track id."""
+    if track == TRACK_NOC:
+        return "noc"
+    if track == TRACK_METRICS:
+        return "metrics"
+    if track >= TRACK_DIR_BASE:
+        return f"dir {track - TRACK_DIR_BASE}"
+    return f"core {track}"
+
+
+def _metadata_events(tracks) -> List[dict]:
+    events = [{
+        "ph": "M", "pid": PID, "name": "process_name",
+        "args": {"name": "repro simulated machine"},
+    }]
+    for track in sorted(tracks):
+        events.append({
+            "ph": "M", "pid": PID, "tid": track, "name": "thread_name",
+            "args": {"name": track_name(track)},
+        })
+        events.append({
+            "ph": "M", "pid": PID, "tid": track, "name": "thread_sort_index",
+            "args": {"sort_index": track},
+        })
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, metrics=None,
+                    label: Optional[str] = None) -> Dict[str, object]:
+    """Render a tracer (and optional metrics) as a Chrome trace dict."""
+    tracks = {ev.track for ev in tracer.events}
+    if metrics is not None and metrics.samples:
+        tracks.add(TRACK_METRICS)
+    out: List[dict] = _metadata_events(tracks)
+    for ev in tracer.events:
+        rec = {
+            "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+            "pid": PID, "tid": ev.track, "ts": ev.ts,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur if ev.dur is not None else 0
+            if ev.args:
+                rec["args"] = ev.args
+        elif ev.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+            if ev.args:
+                rec["args"] = ev.args
+        else:  # counter
+            rec["ph"] = "C"
+            rec["args"] = {"value": ev.args["value"]} if ev.args else {}
+        out.append(rec)
+    if metrics is not None:
+        out.extend(_metrics_counter_events(metrics))
+    trace = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "clock": "1 simulated cycle = 1us",
+            "dropped_events": tracer.dropped,
+        },
+    }
+    if label:
+        trace["otherData"]["label"] = label
+    return trace
+
+
+def _metrics_counter_events(metrics) -> List[dict]:
+    """Interval samples as Chrome counter series on the metrics track."""
+    events: List[dict] = []
+    for sample in metrics.samples:
+        ts = sample["ts"]
+        per_core_series = {
+            "wb_depth": sample["wb_depth"],
+            "bs_lines": sample["bs_lines"],
+            "pending_fences": sample["pending_fences"],
+        }
+        for name, values in per_core_series.items():
+            events.append({
+                "name": name, "cat": "metrics", "ph": "C",
+                "pid": PID, "tid": TRACK_METRICS, "ts": ts,
+                "args": {f"c{c}": v for c, v in enumerate(values)},
+            })
+        events.append({
+            "name": "activity", "cat": "metrics", "ph": "C",
+            "pid": PID, "tid": TRACK_METRICS, "ts": ts,
+            "args": {
+                "outstanding_bounces": sample["outstanding_bounces"],
+                "bounces_delta": sample["bounces_delta"],
+                "retries_delta": sample["write_retries_delta"],
+                "recoveries_delta": sample["recoveries_delta"],
+            },
+        })
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer, metrics=None,
+                       label: Optional[str] = None) -> Dict[str, object]:
+    trace = to_chrome_trace(tracer, metrics, label=label)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+        fh.write("\n")
+    return trace
+
+
+def write_jsonl(path: str, tracer: Tracer, metrics=None,
+                label: Optional[str] = None) -> int:
+    """Write the compact JSONL stream; returns the line count."""
+    lines = 0
+    with open(path, "w") as fh:
+        header = {
+            "type": "meta",
+            "exporter": "repro.obs",
+            "events": len(tracer.events),
+            "dropped": tracer.dropped,
+        }
+        if label:
+            header["label"] = label
+        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        lines += 1
+        for ev in tracer.events:
+            rec = {"type": "event"}
+            rec.update(ev.to_dict())
+            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            lines += 1
+        if metrics is not None:
+            for sample in metrics.samples:
+                rec = {"type": "metrics"}
+                rec.update(sample)
+                fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+                lines += 1
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# schema validation (CI gate)
+# ---------------------------------------------------------------------------
+
+_ALLOWED_PH = {"X", "i", "I", "C", "M", "B", "E"}
+
+
+def validate_chrome_trace(trace) -> List[str]:
+    """Structural check of a Chrome trace dict; returns error strings.
+
+    Covers the subset of the Trace Event Format this exporter emits:
+    the object envelope, required per-phase fields, numeric ts/dur,
+    and metadata naming for every referenced thread.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    named_tids = set()
+    used_tids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PH:
+            errors.append(f"{where}: bad ph {ph!r}")
+            continue
+        if "name" not in ev:
+            errors.append(f"{where}: missing name")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        used_tids.add(ev.get("tid"))
+        if not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"{where}: missing/non-numeric ts")
+        if "pid" not in ev or "tid" not in ev:
+            errors.append(f"{where}: missing pid/tid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs dur >= 0, got {dur!r}")
+        elif ph in ("i", "I"):
+            if ev.get("s") not in (None, "t", "p", "g"):
+                errors.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter needs non-empty args")
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                errors.append(f"{where}: counter args must be numeric")
+    for tid in used_tids - named_tids:
+        errors.append(f"tid {tid!r} has events but no thread_name metadata")
+    return errors

@@ -1,0 +1,428 @@
+"""The trace recorder: typed span/instant records for one run.
+
+Record model
+------------
+A :class:`TraceEvent` is one of
+
+* a **span** (``ph="X"``): an episode with a start cycle and duration —
+  fence episodes, bounce→retry chains, W+ recovery timelines, directory
+  transactions, L1 miss round trips, NoC message flights, GRT deposits,
+  fence-induced load stalls;
+* an **instant** (``ph="i"``): a point event — directory bounces,
+  Order/Conditional-Order completions, CO failures, PutM writebacks,
+  W+ timeout arming, RMW retries, Order promotions, l-mf/C-fence
+  fast-path decisions;
+* a **counter sample** (``ph="C"``): a numeric timeseries point —
+  write-buffer depth per core.
+
+Tracks mirror the machine: one per core, one per directory bank, one
+for the NoC.  The exporters (:mod:`repro.obs.export`) map them onto
+Chrome ``trace_event`` threads so Perfetto shows one swimlane per core
+plus directory/NoC lanes.
+
+Consistency contract (pinned by ``tests/obs/test_trace_consistency``):
+every hook is emitted at the *same site* that increments the
+corresponding :class:`~repro.common.stats.MachineStats` counter, so
+counts derived from a trace reconcile exactly with the stats of the
+same run — e.g. ``#sf spans + #converted wf spans == total_sf`` and
+``#bounce instants == stats.bounces``.
+
+Hook cost contract: hooks are only ever reached behind a
+``tracer is None`` guard at the call site (``NULL_TRACER`` *is*
+``None``); a disabled run executes one attribute load + identity test
+per guarded site and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: The "disabled" tracer. Deliberately ``None`` — hot paths guard with
+#: ``tracer is None`` (pointer identity) rather than calling through a
+#: null object, so tracing-off costs no dynamic dispatch.
+NULL_TRACER = None
+
+# Track ids (exporters map these to Chrome tids / Perfetto lanes).
+#: directory bank *b* traces on track ``TRACK_DIR_BASE + b``
+TRACK_DIR_BASE = 100
+#: all NoC message spans share one track
+TRACK_NOC = 900
+#: interval metrics counters (exported from the MetricsCollector)
+TRACK_METRICS = 901
+
+
+class TraceEvent:
+    """One trace record (span, instant or counter sample)."""
+
+    __slots__ = ("ph", "track", "name", "cat", "ts", "dur", "args")
+
+    def __init__(self, ph, track, name, cat, ts, dur=None, args=None):
+        self.ph = ph        # "X" span | "i" instant | "C" counter
+        self.track = track  # core id, TRACK_DIR_BASE+bank, TRACK_NOC, ...
+        self.name = name
+        self.cat = cat
+        self.ts = ts        # start cycle
+        self.dur = dur      # cycles (None while the span is open)
+        self.args = args    # dict or None
+
+    @property
+    def open(self) -> bool:
+        return self.ph == "X" and self.dur is None
+
+    def to_dict(self) -> dict:
+        d = {
+            "ph": self.ph, "track": self.track, "name": self.name,
+            "cat": self.cat, "ts": self.ts,
+        }
+        if self.dur is not None:
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"<TraceEvent {self.ph} {self.name} track={self.track} "
+                f"ts={self.ts} dur={self.dur}>")
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one machine run.
+
+    Spans are appended to ``events`` when they *open* (so the list is
+    naturally start-ordered) and their ``dur`` is filled in when they
+    close; :meth:`finalize` closes whatever is still open at the end of
+    the run with an ``incomplete`` marker, so cycle-budget cutoffs are
+    visible in the trace instead of silently vanishing.
+
+    ``max_events`` bounds the buffer: past the cap, *new* records are
+    counted in ``dropped`` instead of stored (already-open spans still
+    close normally).  The default is unbounded — a full trace is the
+    point of an explicitly-traced run.
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+        self._queue = None  # bound by Machine.attach_tracer
+        # open-episode indices
+        self._open_wf: Dict[Tuple[int, int], TraceEvent] = {}
+        self._wf_by_core: Dict[int, List[TraceEvent]] = {}
+        self._open_sf: Dict[int, TraceEvent] = {}
+        self._open_chains: Dict[Tuple[int, int], TraceEvent] = {}
+        self._open_recovery: Dict[int, TraceEvent] = {}
+        self._open_dir: Dict[Tuple[int, int], TraceEvent] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def bind(self, queue) -> None:
+        """Attach the machine's event queue (the trace clock)."""
+        self._queue = queue
+
+    @property
+    def now(self) -> int:
+        return self._queue.now if self._queue is not None else 0
+
+    def _emit(self, ev: TraceEvent) -> Optional[TraceEvent]:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return None
+        self.events.append(ev)
+        return ev
+
+    def _instant(self, track, name, cat, args=None) -> None:
+        self._emit(TraceEvent("i", track, name, cat, self.now, 0, args))
+
+    # ------------------------------------------------------------------
+    # fence episodes (core tracks)
+    # ------------------------------------------------------------------
+
+    def sf_begin(self, core: int, demoted: bool = False) -> None:
+        """A strong fence started executing (drain + serialization).
+
+        ``demoted=True`` marks a Wee wf that failed PS confinement at
+        retirement and runs this dynamic instance as an sf.
+        """
+        args = {"demoted": True} if demoted else None
+        ev = self._emit(TraceEvent("X", core, "sf", "fence", self.now,
+                                   None, args))
+        if ev is not None:
+            self._open_sf[core] = ev
+
+    def sf_end(self, core: int, extra: float = 0, **attrs) -> None:
+        """The sf's drain finished; *extra* covers serialization cycles
+        charged past the drain point."""
+        ev = self._open_sf.pop(core, None)
+        if ev is not None:
+            ev.dur = (self.now - ev.ts) + extra
+            if attrs:
+                ev.args = dict(ev.args or (), **attrs)
+
+    def sf_abort(self, core: int, reason: str = "recovery") -> None:
+        """An sf wait was squashed (W+ rollback hit mid-drain)."""
+        ev = self._open_sf.pop(core, None)
+        if ev is not None:
+            ev.dur = self.now - ev.ts
+            ev.args = dict(ev.args or (), outcome=reason)
+
+    def wf_retire(self, core: int, fence_id: int, pending_stores: int) -> None:
+        """A weak fence retired with *pending_stores* pre-fence stores."""
+        ev = self._emit(TraceEvent(
+            "X", core, "wf", "fence", self.now, None,
+            {"fence_id": fence_id, "pending_stores": pending_stores},
+        ))
+        if ev is not None:
+            self._open_wf[(core, fence_id)] = ev
+            self._wf_by_core.setdefault(core, []).append(ev)
+
+    def wf_trivial(self, core: int) -> None:
+        """A wf retired over an empty write buffer: complete at birth."""
+        self._emit(TraceEvent("X", core, "wf", "fence", self.now, 0,
+                              {"trivial": True}))
+
+    def wf_convert(self, core: int, fence_id: int) -> None:
+        """Wee dynamic conversion: a post-fence access left the confined
+        directory module mid-flight; the wf is re-counted as an sf."""
+        ev = self._open_wf.get((core, fence_id))
+        if ev is not None:
+            ev.args["converted"] = True
+
+    def wf_complete(self, core: int, fence_id: int, bs_lines: int) -> None:
+        """All pre-fence stores merged; the fence group completed."""
+        ev = self._open_wf.pop((core, fence_id), None)
+        if ev is not None:
+            ev.dur = self.now - ev.ts
+            ev.args["bs_lines"] = bs_lines
+            lst = self._wf_by_core.get(core)
+            if lst is not None:
+                try:
+                    lst.remove(ev)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+
+    def wf_unwind_all(self, core: int, reason: str = "recovery") -> int:
+        """A W+ rollback cleared every incomplete fence of *core*."""
+        unwound = 0
+        for ev in self._wf_by_core.pop(core, ()):  # oldest first
+            self._open_wf.pop((core, ev.args["fence_id"]), None)
+            ev.dur = self.now - ev.ts
+            ev.args["outcome"] = reason
+            unwound += 1
+        return unwound
+
+    # ------------------------------------------------------------------
+    # fence-induced load stalls (core tracks)
+    # ------------------------------------------------------------------
+
+    def load_stall(self, core: int, t0: int, reason: str) -> None:
+        """A parked post-fence load resumed; record the whole stall."""
+        self._emit(TraceEvent("X", core, "load_stall", "stall", t0,
+                              self.now - t0, {"reason": reason}))
+
+    # ------------------------------------------------------------------
+    # bounce → retry chains (core tracks, keyed by write)
+    # ------------------------------------------------------------------
+
+    def store_bounce(self, core: int, store_id: int, word: int, line: int,
+                     retries: int, ordered: bool) -> None:
+        """The head store's transaction was refused by a remote BS."""
+        key = (core, store_id)
+        ev = self._open_chains.get(key)
+        if ev is None:
+            ev = self._emit(TraceEvent(
+                "X", core, "bounce_chain", "bounce", self.now, None,
+                {"store_id": store_id, "word": word, "line": line,
+                 "retries": retries, "ordered": ordered},
+            ))
+            if ev is None:
+                return
+            self._open_chains[key] = ev
+        else:
+            ev.args["retries"] = retries
+            if ordered:
+                ev.args["ordered"] = True
+
+    def store_chain_end(self, core: int, store_id: int,
+                        outcome: str = "merged") -> None:
+        """The bounced write finally merged (or was promoted and merged)."""
+        ev = self._open_chains.pop((core, store_id), None)
+        if ev is not None:
+            ev.dur = self.now - ev.ts
+            ev.args["outcome"] = outcome
+
+    def rmw_retry(self, core: int, word: int) -> None:
+        """An atomic RMW's GetX was bounced and will retry."""
+        self._instant(core, "rmw_retry", "bounce", {"word": word})
+
+    # ------------------------------------------------------------------
+    # W+ recovery timelines (core tracks)
+    # ------------------------------------------------------------------
+
+    def timeout_armed(self, core: int, delay: int) -> None:
+        """Deadlock suspicion (bouncing ∧ being-bounced): timer armed."""
+        self._instant(core, "wplus_timeout", "recovery", {"delay": delay})
+
+    def recovery_begin(self, core: int, fence_id: int, checkpoint,
+                       dropped_stores: int, bs_cleared: int,
+                       fences_unwound: int) -> None:
+        """Timeout expired with the suspicion still true: rollback."""
+        ev = self._emit(TraceEvent(
+            "X", core, "recovery", "recovery", self.now, None,
+            {"fence_id": fence_id, "checkpoint": checkpoint,
+             "dropped_stores": dropped_stores, "bs_cleared": bs_cleared,
+             "fences_unwound": fences_unwound},
+        ))
+        if ev is not None:
+            self._open_recovery[core] = ev
+
+    def recovery_end(self, core: int, extra: float = 0) -> None:
+        """Post-rollback drain finished (+ *extra* restart cycles)."""
+        ev = self._open_recovery.pop(core, None)
+        if ev is not None:
+            ev.dur = (self.now - ev.ts) + extra
+
+    # ------------------------------------------------------------------
+    # fence-design internals (core tracks)
+    # ------------------------------------------------------------------
+
+    def order_promotion(self, core: int, count: int, conditional: bool) -> None:
+        """WS+/SW+ promoted *count* bouncing pre-wf writes to Order/CO."""
+        self._instant(core, "order_promotion", "fence",
+                      {"count": count, "conditional": conditional})
+
+    def lmf_decision(self, core: int, fast: bool) -> None:
+        """l-mf took the store-conditional fast path (or fell back)."""
+        self._instant(core, "lmf_fast" if fast else "lmf_fallback", "fence")
+
+    def cfence_decision(self, core: int, skipped: bool) -> None:
+        """C-fence consulted the centralized table: skip or stall."""
+        self._instant(core, "cfence_skip" if skipped else "cfence_stall",
+                      "fence")
+
+    def grt_deposit(self, core: int, bank: int, n_lines: int, t0: int) -> None:
+        """Wee GRT deposit round trip completed (reply back at core)."""
+        self._emit(TraceEvent("X", core, "grt_deposit", "grt", t0,
+                              self.now - t0,
+                              {"bank": bank, "ps_lines": n_lines}))
+
+    # ------------------------------------------------------------------
+    # L1 (core tracks)
+    # ------------------------------------------------------------------
+
+    def l1_miss(self, core: int, line: int, kind: str, t0: int,
+                outcome: str) -> None:
+        """An L1 miss transaction finished (filled / merged / bounced)."""
+        self._emit(TraceEvent("X", core, "l1_miss", "l1", t0, self.now - t0,
+                              {"line": line, "kind": kind,
+                               "outcome": outcome}))
+
+    def writeback(self, core: int, line: int, keep_sharer: bool) -> None:
+        """A dirty eviction issued a PutM (keep-sharer when BS-held)."""
+        self._instant(core, "writeback", "l1",
+                      {"line": line, "keep_sharer": keep_sharer})
+
+    # ------------------------------------------------------------------
+    # directory transactions (dir tracks)
+    # ------------------------------------------------------------------
+
+    def dir_begin(self, bank: int, txn_id: int, kind: str, line: int,
+                  requester: int) -> None:
+        """A coherence request arrived at its home bank."""
+        ev = self._emit(TraceEvent(
+            "X", TRACK_DIR_BASE + bank, "dir_txn", "dir", self.now, None,
+            {"txn_id": txn_id, "kind": kind, "line": line,
+             "requester": requester},
+        ))
+        if ev is not None:
+            self._open_dir[(bank, txn_id)] = ev
+
+    def dir_end(self, bank: int, txn_id: int, reply: str) -> None:
+        """The transaction's reply was processed; the line is released."""
+        ev = self._open_dir.pop((bank, txn_id), None)
+        if ev is not None:
+            ev.dur = self.now - ev.ts
+            ev.args["reply"] = reply
+
+    def dir_putm(self, bank: int, line: int, requester: int) -> None:
+        """A fire-and-forget dirty writeback arrived."""
+        self._instant(TRACK_DIR_BASE + bank, "putm", "dir",
+                      {"line": line, "requester": requester})
+
+    def dir_bounce(self, bank: int, line: int, requester: int) -> None:
+        """A GetX failed wholesale: some sharer's BS refused the INV."""
+        self._instant(TRACK_DIR_BASE + bank, "bounce", "dir",
+                      {"line": line, "requester": requester})
+
+    def dir_order(self, bank: int, line: int, requester: int,
+                  conditional: bool) -> None:
+        """An Order / Conditional-Order operation completed (§3.3.1/2)."""
+        self._instant(TRACK_DIR_BASE + bank,
+                      "cond_order" if conditional else "order", "dir",
+                      {"line": line, "requester": requester})
+
+    def dir_co_fail(self, bank: int, line: int, requester: int) -> None:
+        """A Conditional Order found a true-sharing BS match and failed."""
+        self._instant(TRACK_DIR_BASE + bank, "co_fail", "dir",
+                      {"line": line, "requester": requester})
+
+    # ------------------------------------------------------------------
+    # NoC (single shared track)
+    # ------------------------------------------------------------------
+
+    def noc_msg(self, src: int, dst: int, kind: str, nbytes: int,
+                lat: int, retry: bool) -> None:
+        """One message flight; span duration = delivery latency."""
+        args = {"src": src, "dst": dst, "kind": kind, "bytes": nbytes}
+        if retry:
+            args["retry"] = True
+        self._emit(TraceEvent("X", TRACK_NOC, "msg", "noc", self.now,
+                              lat, args))
+
+    # ------------------------------------------------------------------
+    # write buffer (core tracks, counter samples)
+    # ------------------------------------------------------------------
+
+    def wb_depth(self, core: int, depth: int) -> None:
+        """Write-buffer occupancy changed (push or head merge)."""
+        self._emit(TraceEvent("C", core, "wb_depth", "wb", self.now, 0,
+                              {"value": depth}))
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close every still-open span as ``incomplete`` (cycle-budget
+        cutoffs, in-flight transactions at quiesce)."""
+        now = self.now
+        for index in (self._open_sf, self._open_wf, self._open_chains,
+                      self._open_recovery, self._open_dir):
+            for ev in index.values():
+                if ev.dur is None:
+                    ev.dur = now - ev.ts
+                    ev.args = dict(ev.args or (), incomplete=True)
+            index.clear()
+        self._wf_by_core.clear()
+
+    # ------------------------------------------------------------------
+    # queries (summary / tests)
+    # ------------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None,
+              cat: Optional[str] = None) -> List[TraceEvent]:
+        return [ev for ev in self.events
+                if ev.ph == "X"
+                and (name is None or ev.name == name)
+                and (cat is None or ev.cat == cat)]
+
+    def instants(self, name: Optional[str] = None,
+                 cat: Optional[str] = None) -> List[TraceEvent]:
+        return [ev for ev in self.events
+                if ev.ph == "i"
+                and (name is None or ev.name == name)
+                and (cat is None or ev.cat == cat)]
+
+    def count(self, name: str) -> int:
+        return sum(1 for ev in self.events if ev.name == name)

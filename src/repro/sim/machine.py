@@ -66,6 +66,11 @@ class Machine:
         self.recorder: Optional[DependenceRecorder] = None
         if params.track_dependences:
             self.recorder = DependenceRecorder(self.image)
+        #: observability (repro.obs): None unless attach_tracer() /
+        #: a MetricsCollector is wired up — every hook site guards on
+        #: a cached ``tracer is None`` check, so this stays zero-cost.
+        self.tracer = None
+        self.metrics = None
 
         self.banks: List[DirectoryBank] = [
             DirectoryBank(b, params, self.stats, self.noc, self.queue)
@@ -93,6 +98,29 @@ class Machine:
         #: resynced at the top of run(), maintained by core_done_changed.
         self._done_cores = 0
         self._watchdog = Watchdog(self, params.watchdog_interval)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire a :class:`repro.obs.Tracer` into every component.
+
+        Each component caches the tracer in its own attribute so hook
+        sites test a local ``self.tracer is None`` — no machine-level
+        indirection on the hot path.  Call before :meth:`run`.
+        """
+        tracer.bind(self.queue)
+        self.tracer = tracer
+        for core in self.cores:
+            core.tracer = tracer
+            core.wb.tracer = tracer
+            core.wb.core_id = core.core_id
+        for l1 in self.l1s:
+            l1.tracer = tracer
+        for bank in self.banks:
+            bank.tracer = tracer
+        self.noc.tracer = tracer
 
     # ------------------------------------------------------------------
     # workload setup
@@ -174,8 +202,14 @@ class Machine:
         if n_done == len(self.cores):
             self.queue.request_stop()
         self._watchdog.start()
+        if self.metrics is not None:
+            self.metrics.start()
         self.queue.run(until=limit)
         self._watchdog.stop()
+        if self.metrics is not None:
+            # stop the sampling pump before the quiesce drain below so
+            # its self-rescheduling event doesn't keep the queue alive
+            self.metrics.stop()
         completed = self._all_done()
         if completed:
             # drain in-flight protocol events (writebacks, GRT
@@ -189,6 +223,8 @@ class Machine:
             # of the budget, not a hang — flag it so callers can tell.
             self.stats.cutoff_in_recovery = True
         self.stats.cycles = self.queue.now
+        if self.tracer is not None:
+            self.tracer.finalize()
         events = self.recorder.events if self.recorder else None
         return SimResult(
             stats=self.stats,

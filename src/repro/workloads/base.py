@@ -103,14 +103,22 @@ def run_workload(
     seed: int = 12345,
     params: Optional[MachineParams] = None,
     check: bool = False,
+    obs=None,
 ) -> WorkloadRun:
-    """Build, run and wrap one workload under one fence design."""
+    """Build, run and wrap one workload under one fence design.
+
+    *obs* is an optional :class:`repro.obs.Observability` session; it is
+    attached to the machine before the run so its tracer/metrics cover
+    the whole execution.
+    """
     cls = REGISTRY[name]
     workload = cls(scale=scale)
     if params is None:
         params = MachineParams().with_cores(num_cores)
     params = params.with_design(design)
     machine = Machine(params, seed=seed)
+    if obs is not None:
+        obs.attach(machine)
     workload.setup(machine)
     result = machine.run(max_cycles=workload.cycle_budget)
     if check:

@@ -1,0 +1,127 @@
+"""MetricsCollector: interval sampling, bounded decimation, no drift."""
+
+import pytest
+
+from repro.common.params import FenceDesign, MachineParams
+from repro.obs import Observability
+from repro.obs.metrics import MetricsCollector, _merge
+from repro.sim.machine import Machine
+from repro.workloads.base import REGISTRY, load_all_workloads
+
+
+def _run_with_metrics(interval=200, max_samples=512, design=FenceDesign.W_PLUS):
+    load_all_workloads()
+    workload = REGISTRY["fib"](scale=0.2)
+    params = MachineParams().with_cores(4).with_design(design)
+    machine = Machine(params, seed=12345)
+    obs = Observability(metrics_interval=interval, max_samples=max_samples)
+    obs.attach(machine)
+    workload.setup(machine)
+    result = machine.run(max_cycles=workload.cycle_budget)
+    return result, obs.metrics
+
+
+def test_interval_must_be_positive():
+    machine = object()
+    with pytest.raises(ValueError):
+        MetricsCollector(machine, interval=0)
+
+
+def test_samples_cover_the_run():
+    result, metrics = _run_with_metrics(interval=200)
+    assert metrics.samples, "run long enough to tick at least once"
+    assert metrics.ticks == len(metrics.samples)  # no decimation here
+    ts = [s["ts"] for s in metrics.samples]
+    assert ts == sorted(ts)
+    assert ts[0] == 200 and ts[-1] <= result.cycles
+    for s in metrics.samples:
+        assert len(s["wb_depth"]) == 4
+        assert len(s["instructions_delta"]) == 4
+        assert 0 <= s["outstanding_bounces"] <= 4
+
+
+def test_deltas_are_nonnegative_and_bounded_by_totals():
+    result, metrics = _run_with_metrics(interval=200)
+    stats = result.stats
+    assert all(s["bounces_delta"] >= 0 for s in metrics.samples)
+    assert sum(s["bounces_delta"] for s in metrics.samples) <= stats.bounces
+    insn = [sum(s["instructions_delta"]) for s in metrics.samples]
+    assert sum(insn) <= stats.total_instructions
+
+
+def test_decimation_bounds_buffer_and_doubles_stride():
+    _, metrics = _run_with_metrics(interval=20, max_samples=8)
+    assert metrics.ticks > 8, "pinned run must overflow the buffer"
+    assert len(metrics.samples) <= 8
+    assert metrics.interval > metrics.base_interval
+    # stride doubles: final interval is base * 2^k
+    ratio = metrics.interval // metrics.base_interval
+    assert ratio & (ratio - 1) == 0
+
+
+def test_decimation_preserves_delta_sums():
+    """Folding adjacent epochs must not lose counted work: the same
+    pinned run, decimated hard vs not at all, sums its delta columns to
+    values that agree up to the tail after the coarser collector's last
+    tick (whose timestamp it also retains)."""
+    _, fine = _run_with_metrics(interval=20, max_samples=10_000)
+    _, coarse = _run_with_metrics(interval=20, max_samples=8)
+    last = coarse.samples[-1]["ts"]
+    fine_sum = sum(s["bounces_delta"] for s in fine.samples
+                   if s["ts"] <= last)
+    coarse_sum = sum(s["bounces_delta"] for s in coarse.samples)
+    assert coarse_sum == fine_sum
+
+
+def test_merge_sums_deltas_and_keeps_latest_instantaneous():
+    older = {"ts": 100, "wb_depth": [5, 5], "bs_lines": [1, 0],
+             "pending_fences": [2, 0], "outstanding_bounces": 2,
+             "busy_delta": [10, 10], "fence_stall_delta": [1, 1],
+             "other_stall_delta": [0, 0], "instructions_delta": [7, 7],
+             "bounces_delta": 3, "write_retries_delta": 4,
+             "recoveries_delta": 0, "network_bytes_delta": 64,
+             "l1_misses_delta": 2}
+    newer = dict(older, ts=200, wb_depth=[1, 1], outstanding_bounces=0,
+                 bounces_delta=5, busy_delta=[20, 20])
+    merged = _merge(older, newer)
+    assert merged["ts"] == 200                 # instantaneous: later wins
+    assert merged["wb_depth"] == [1, 1]
+    assert merged["outstanding_bounces"] == 0
+    assert merged["bounces_delta"] == 8        # deltas: summed
+    assert merged["busy_delta"] == [30, 30]
+    assert merged["write_retries_delta"] == 8
+
+
+def test_metrics_do_not_perturb_the_simulation():
+    load_all_workloads()
+    from repro.workloads.base import run_workload
+
+    plain = run_workload("fib", FenceDesign.WEE, num_cores=4, scale=0.2,
+                         seed=12345)
+    obs = Observability(trace=False, metrics_interval=64)
+    sampled = run_workload("fib", FenceDesign.WEE, num_cores=4, scale=0.2,
+                           seed=12345, obs=obs)
+    assert obs.metrics.samples
+    assert sampled.stats.to_dict() == plain.stats.to_dict()
+    assert sampled.cycles == plain.cycles
+
+
+def test_summary_reports_headline_aggregates():
+    _, metrics = _run_with_metrics(interval=200)
+    summary = metrics.summary()
+    assert summary["retained"] == len(metrics.samples)
+    assert summary["mean_wb_depth"] >= 0
+    assert summary["peak_outstanding_bounces"] >= 0
+
+
+def test_empty_summary_when_never_ticked():
+    load_all_workloads()
+    workload = REGISTRY["fib"](scale=0.2)
+    params = MachineParams().with_cores(4).with_design(FenceDesign.S_PLUS)
+    machine = Machine(params, seed=12345)
+    collector = MetricsCollector(machine, interval=10_000_000)
+    machine.metrics = collector
+    workload.setup(machine)
+    machine.run(max_cycles=workload.cycle_budget)
+    assert collector.samples == []
+    assert collector.summary() == {"retained": 0}

@@ -1,0 +1,52 @@
+"""Trace-overhead gate plumbing (the timing itself runs in CI)."""
+
+import pytest
+
+from repro.obs import overhead
+
+
+def test_find_case_rejects_unknown_keys():
+    with pytest.raises(SystemExit, match="unknown fig89 case"):
+        overhead._find_case("nope:S+:c8:s0.5:r12345")
+
+
+def test_find_case_resolves_default():
+    case = overhead._find_case(overhead.DEFAULT_CASE)
+    assert case.workload == "fib" and case.cores == 8
+
+
+def test_render_report_failure_and_success():
+    report = {
+        "case": overhead.DEFAULT_CASE,
+        "threshold": 1.03,
+        "baseline_median_s": 0.1,
+        "disabled": {"min_s": 0.12, "reps": 3},
+        "enabled": {"min_s": 0.15, "reps": 3},
+        "tracing_overhead_x": 1.25,
+        "trace_events": 100,
+        "schema_errors": [],
+        "failures": ["tracing-DISABLED path regressed: ..."],
+        "ok": False,
+    }
+    text = overhead.render_report(report)
+    assert "FAIL" in text and "verdict: FAILED" in text
+    report["failures"] = []
+    report["ok"] = True
+    assert "verdict: OK" in overhead.render_report(report)
+
+
+def test_run_gate_reports_missing_baseline(tmp_path):
+    report = overhead.run_gate(
+        baseline_path=str(tmp_path / "absent.json"),
+        case_key=overhead.DEFAULT_CASE,
+        reps=1,
+        max_reps=1,
+    )
+    assert not report["ok"]
+    assert any("has no case" in f or "baseline" in f
+               for f in report["failures"])
+    # the measurement itself still ran and produced a valid trace
+    assert report["schema_errors"] == []
+    assert report["trace_events"] > 0
+    # tracing must not have perturbed the simulated run
+    assert not any("perturbed" in f for f in report["failures"])

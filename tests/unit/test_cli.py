@@ -70,3 +70,97 @@ def test_design_argument_rejects_unknown():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "fib", "--design", "XX"])
+
+
+def test_run_prints_completed_line(capsys):
+    code, out = run_cli(capsys, "run", "fib", "--design", "S+",
+                        "--cores", "2", "--scale", "0.06")
+    assert code == 0
+    assert "completed     : yes" in out
+
+
+def test_print_run_distinguishes_cutoff_in_recovery(capsys):
+    from repro.cli import _print_run
+    from repro.common.params import FenceDesign
+    from repro.common.stats import MachineStats
+    from repro.sim.machine import SimResult
+    from repro.workloads.base import WorkloadRun
+
+    def fake_run(completed, in_recovery):
+        stats = MachineStats(2)
+        stats.cutoff_in_recovery = in_recovery
+        result = SimResult(stats=stats, cycles=1000, completed=completed)
+        return WorkloadRun(name="fib", group="cilk",
+                           design=FenceDesign.W_PLUS, num_cores=2,
+                           result=result)
+
+    _print_run(fake_run(completed=True, in_recovery=False))
+    assert "completed     : yes" in capsys.readouterr().out
+
+    _print_run(fake_run(completed=False, in_recovery=False))
+    assert "no (cycle budget hit)" in capsys.readouterr().out
+
+    _print_run(fake_run(completed=False, in_recovery=True))
+    out = capsys.readouterr().out
+    assert "no (cycle budget hit during W+ recovery)" in out
+
+
+def test_design_accepts_normalized_aliases():
+    parser = build_parser()
+    for spelling in ("wplus", "W+", "w_plus", "WPLUS"):
+        args = parser.parse_args(["run", "fib", "--design", spelling])
+        assert str(args.design) == "W+"
+    args = parser.parse_args(["run", "fib", "--design", "wee"])
+    assert str(args.design) == "Wee"
+
+
+def test_run_trace_out_writes_chrome_trace(capsys, tmp_path):
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    out_path = tmp_path / "t.json"
+    code, out = run_cli(capsys, "run", "fib", "--design", "wplus",
+                        "--cores", "2", "--scale", "0.06",
+                        "--trace-out", str(out_path))
+    assert code == 0
+    assert "trace written to" in out
+    trace = json.loads(out_path.read_text())
+    assert validate_chrome_trace(trace) == []
+
+
+def test_run_trace_out_all_designs_gets_per_design_files(capsys, tmp_path):
+    from repro.common.params import FenceDesign
+
+    out_path = tmp_path / "t.json"
+    code, _ = run_cli(capsys, "run", "fib", "--all-designs",
+                      "--cores", "2", "--scale", "0.06",
+                      "--trace-out", str(out_path))
+    assert code == 0
+    written = sorted(p.name for p in tmp_path.iterdir())
+    assert len(written) == len(list(FenceDesign))
+    assert "t.w.json" in written and "t.wee.json" in written
+
+
+def test_trace_subcommand_prints_timeline_summary(capsys):
+    code, out = run_cli(capsys, "trace", "fib", "--design", "W+",
+                        "--cores", "2", "--scale", "0.06")
+    assert code == 0
+    assert "trace summary" in out
+    assert "event counts" in out
+    assert "stats cross-check" in out
+    assert "interval metrics" in out
+
+
+def test_trace_subcommand_jsonl_export(capsys, tmp_path):
+    out_path = tmp_path / "t.jsonl"
+    code, out = run_cli(capsys, "trace", "fib", "--design", "S+",
+                        "--cores", "2", "--scale", "0.06",
+                        "--out", str(out_path), "--format", "jsonl")
+    assert code == 0
+    first = out_path.read_text().splitlines()[0]
+    assert '"type":"meta"' in first.replace(" ", "")
+
+
+def test_trace_unknown_workload(capsys):
+    assert main(["trace", "nope"]) == 2

@@ -65,3 +65,44 @@ def test_summary_keys_present():
                 "sf_per_ki", "wf_per_ki", "bs_lines", "bounces_per_wf",
                 "recoveries_per_wf", "txn_commits", "tasks_executed"):
         assert key in summary
+
+
+def test_bs_sampling_is_bounded_but_aggregates_stay_exact():
+    """Long runs must not grow bs_occupancy_samples without limit, and
+    mean/max must come from exact running aggregates, not the thinned
+    retained list."""
+    from repro.common.stats import BS_SAMPLE_CAP
+
+    s = MachineStats(1)
+    n = 3 * BS_SAMPLE_CAP
+    values = [i % 7 for i in range(n)]
+    for v in values:
+        s.sample_bs_occupancy(v)
+    assert len(s.bs_occupancy_samples) < BS_SAMPLE_CAP
+    assert s.bs_occupancy_count == n
+    assert s.bs_occupancy_sum == sum(values)
+    assert s.mean_bs_lines == sum(values) / n
+    assert s.max_bs_lines == 6
+    # the retained list is a uniformly-strided subsample of the stream
+    assert set(s.bs_occupancy_samples) <= set(values)
+
+
+def test_bs_sampling_mean_not_derived_from_retained_list():
+    from repro.common.stats import BS_SAMPLE_CAP
+
+    s = MachineStats(1)
+    # first half all zeros, second half all tens: pairwise thinning
+    # skews the retained list, the running mean must not move
+    n = 2 * BS_SAMPLE_CAP
+    for i in range(n):
+        s.sample_bs_occupancy(0 if i < n // 2 else 10)
+    assert s.mean_bs_lines == 5.0
+    assert s.max_bs_lines == 10
+
+
+def test_bs_sampling_below_cap_retains_everything():
+    s = MachineStats(1)
+    for v in (1, 2, 3):
+        s.sample_bs_occupancy(v)
+    assert s.bs_occupancy_samples == [1, 2, 3]
+    assert s.mean_bs_lines == 2.0
