@@ -6,6 +6,7 @@ Commands
 ``trace``    run one workload with tracing on and explore its timeline
 ``litmus``   run a litmus kernel across designs and report outcomes
 ``verify``   schedule-exploration verification (SCV/deadlock hunting)
+``chaos``    fault-injection sweep with SC/progress/recovery oracles
 ``perf``     time the pinned perf matrix, snapshot + regression check
 ``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
 ``table``    regenerate one of the paper's tables (1, 2, 3, 4)
@@ -20,6 +21,8 @@ Examples::
     python -m repro run TreeOverwrite --all-designs
     python -m repro litmus sb --design W+
     python -m repro verify --designs all --budget 200
+    python -m repro chaos --scenarios all --seeds 20
+    python -m repro chaos --scenarios illegal_drop --designs S+ --shrink
     python -m repro perf --profile tiny --report-only
     python -m repro figure 9 --scale 0.5
     python -m repro table 4
@@ -265,6 +268,67 @@ def cmd_verify(args) -> int:
     return 1 if report.violations else 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.faults.chaos import run_chaos_matrix
+    from repro.faults.plan import LEGAL_SCENARIOS, SCENARIOS
+    from repro.verify.oracles import PAPER_DESIGNS
+
+    if args.scenarios.strip().lower() == "all":
+        scenarios = list(LEGAL_SCENARIOS)
+    else:
+        scenarios = [s.strip() for s in args.scenarios.split(",")
+                     if s.strip()]
+        unknown = [s for s in scenarios if s not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}; choose "
+                  f"from {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+            return 2
+    if args.designs.strip().lower() == "all":
+        designs = list(PAPER_DESIGNS)
+    else:
+        try:
+            designs = [
+                _design(name.strip())
+                for name in args.designs.split(",") if name.strip()
+            ]
+        except argparse.ArgumentTypeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+
+    def progress(case):
+        verdict = "FAIL" if case.failed else "ok"
+        line = (f"  {case.scenario:16s} {case.design:4s} seed={case.seed:<6d} "
+                f"{verdict}")
+        if case.failed:
+            line += f" ({case.violations[0]})"
+            if case.shrunk is not None:
+                line += f" -> shrunk to {len(case.shrunk)} injection(s)"
+        print(line)
+
+    print(f"chaos: {len(scenarios)} scenario(s) x {len(designs)} design(s) "
+          f"x {args.seeds} seed(s)")
+    report = run_chaos_matrix(
+        scenarios, designs, seeds=seeds,
+        shrink=args.shrink,
+        journal=args.journal, resume=args.resume,
+        diag_dir=args.diag_dir,
+        progress=progress,
+    )
+    print(f"{report['total_cases']} case(s): "
+          f"{report['failed_legal']} legal failure(s), "
+          f"{report['caught_illegal']} illegal scenario(s) caught, "
+          f"{report['missed_illegal']} missed")
+    if args.out != "-":
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"[report written to {args.out}]")
+    return 1 if (report["failed_legal"] or report["missed_illegal"]) else 0
+
+
 def cmd_perf(args) -> int:
     from repro.perf import harness
 
@@ -425,6 +489,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path ('-' to skip writing)",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: scenario x design x seed matrix "
+             "checked against the SC/progress/recovery oracles",
+    )
+    p_chaos.add_argument(
+        "--scenarios", default="all",
+        help="'all' (every legal built-in scenario) or a comma list; "
+             "the deliberately broken 'illegal_drop' must be named "
+             "explicitly",
+    )
+    p_chaos.add_argument(
+        "--designs", default="all",
+        help="'all' (the paper's five) or a comma list, e.g. 'S+,W+'",
+    )
+    p_chaos.add_argument("--seeds", type=int, default=20,
+                         help="seeds per (scenario, design) cell")
+    p_chaos.add_argument("--seed-base", type=int, default=1,
+                         help="first seed of the range (default 1)")
+    p_chaos.add_argument("--shrink", action="store_true",
+                         help="ddmin each failing case to a minimal "
+                              "injection subset")
+    p_chaos.add_argument("--journal", default=None, metavar="PATH",
+                         help="JSONL checkpoint journal for the sweep")
+    p_chaos.add_argument("--resume", action="store_true",
+                         help="skip cases already in --journal")
+    p_chaos.add_argument("--diag-dir", default=None, metavar="DIR",
+                         help="write watchdog post-mortem bundles here")
+    p_chaos.add_argument(
+        "--out", default="benchmarks/out/chaos_report.json",
+        help="JSON report path ('-' to skip writing)",
+    )
+
     p_perf = sub.add_parser(
         "perf",
         help="time the pinned perf matrix and check for regressions",
@@ -474,6 +571,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "litmus": cmd_litmus,
         "verify": cmd_verify,
+        "chaos": cmd_chaos,
         "perf": cmd_perf,
         "figure": cmd_figure,
         "table": cmd_table,

@@ -18,9 +18,17 @@ class DeadlockError(SimulatorError):
     all-weak-fence design of Figure 3a in the paper.
     """
 
-    def __init__(self, message, blocked_cores=()):
+    def __init__(self, message, blocked_cores=(), diagnostics=None,
+                 diagnostics_path=None):
         super().__init__(message)
         self.blocked_cores = tuple(blocked_cores)
+        #: post-mortem bundle captured by the watchdog at raise time
+        #: (per-core WB/BS contents, in-flight events, trace tail);
+        #: None when raised outside the watchdog.
+        self.diagnostics = diagnostics
+        #: path of the JSON artifact the bundle was written to, when the
+        #: machine had a diagnostics directory configured.
+        self.diagnostics_path = diagnostics_path
 
 
 class ProtocolError(SimulatorError):

@@ -91,6 +91,9 @@ class Core:
         #: every emit site guards on ``self.tracer is None`` so the
         #: untraced path costs one attribute load + identity test.
         self.tracer = machine.tracer
+        #: fault-injection hook (repro.faults.FaultInjector) — cached
+        #: like the tracer; None keeps the fault-free path untouched.
+        self.faults = machine.faults
         self.amap = l1.amap
         self.bs = l1.bs
         self.wb = WriteBuffer(params.write_buffer_entries)
@@ -477,8 +480,11 @@ class Core:
             )
         self.policy.on_pre_store_bounce(entry)
         self._check_deadlock_monitor()
+        delay = self.params.bounce_retry_cycles
+        if self.faults is not None:
+            delay = self.faults.retry_backoff(entry.retries, delay)
         self.queue.schedule(
-            self.params.bounce_retry_cycles,
+            delay,
             lambda: self._retry_head(entry),
             "cpu.store_retry",
         )
@@ -789,6 +795,8 @@ class Core:
             self.params.wplus_timeout_cycles
             + self.core_id * self.params.wplus_timeout_jitter_cycles
         )
+        if self.faults is not None:
+            delay = self.faults.wplus_timeout(delay)
         if self.tracer is not None:
             self.tracer.timeout_armed(self.core_id, delay)
         self._dl_timer = self.queue.schedule(
@@ -811,6 +819,7 @@ class Core:
         the wf behaves as an sf this one time.
         """
         self.stats.wplus_recoveries += 1
+        self.policy.on_recovery()
         pf = self.pending_fences[0]
         assert pf.checkpoint is not None
         tracer = self.tracer

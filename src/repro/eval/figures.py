@@ -17,6 +17,7 @@ the benches and recorded in EXPERIMENTS.md):
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.params import FenceDesign
@@ -146,7 +147,10 @@ def fig9_fig10_ustm(scale: float = 1.0, num_cores: int = 8,
     for name in names:
         base = runs[(name, BASELINE, num_cores)]
         base_tput = max(base.throughput, 1e-9)
-        base_txn = max(base.txn_cycles_per_commit, 1e-9)
+        # a commit-less run reports inf cycles/commit; treat it as "no
+        # data" (0.0) here so one truncated row can't blow up the ratios
+        base_txn = base.txn_cycles_per_commit
+        base_txn = max(0.0 if math.isinf(base_txn) else base_txn, 1e-9)
         for design in DESIGNS:
             r = runs[(name, str(design), num_cores)]
             ratio = r.throughput / base_tput
@@ -161,6 +165,8 @@ def fig9_fig10_ustm(scale: float = 1.0, num_cores: int = 8,
             # machine-level category fractions (ustm time is almost
             # entirely transactional, see DESIGN.md).
             per_txn = r.txn_cycles_per_commit
+            if math.isinf(per_txn):
+                per_txn = 0.0
             total = max(1.0, r.total)
             norm = per_txn / base_txn
             txn_entries.append({

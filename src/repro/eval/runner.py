@@ -4,19 +4,36 @@ Runs (workload × fence design × core count) grids, optionally in
 parallel across processes (simulations are independent), and returns
 lightweight picklable summaries the figure/table generators consume.
 
+Long sweeps are crash-resilient: with a *journal* path every finished
+job is appended to a JSONL file as it completes, a worker process dying
+mid-job (OOM kill, segfault, SIGKILL) is retried with backoff instead
+of sinking the whole sweep, and ``resume=True`` (CLI ``--resume``)
+skips journaled jobs so an interrupted sweep picks up where it stopped.
+
 ``REPRO_JOBS`` controls parallelism (default: up to 8 processes);
 ``REPRO_SCALE`` scales workload sizes (see ``workloads.base``).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import multiprocessing
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.params import FenceDesign
 from repro.workloads.base import load_all_workloads, run_workload
+
+#: attempts per job when the worker *process* dies (a Python exception
+#: inside the job is not retried — it propagates, it's a real bug)
+CRASH_RETRIES = 3
+#: base backoff between crash retries, doubling per attempt
+CRASH_BACKOFF_S = 0.25
 
 
 @dataclass
@@ -45,6 +62,7 @@ class RunSummary:
 
     @property
     def throughput(self) -> float:
+        # a run cut off before any commit has no meaningful rate
         if not self.cycles:
             return 0.0
         return 1e6 * self.stats.get("txn_commits", 0) / self.cycles
@@ -53,7 +71,10 @@ class RunSummary:
     def txn_cycles_per_commit(self) -> float:
         commits = self.stats.get("txn_commits", 0)
         if not commits:
-            return 0.0
+            # zero commits means the per-commit cost is unbounded, not
+            # free — consumers that want "skip this row" semantics
+            # must test for it (figures.py maps it to 0.0)
+            return float("inf")
         return self.stats.get("txn_cycles_total", 0.0) / commits
 
 
@@ -96,6 +117,95 @@ def default_jobs() -> int:
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 
+# ----------------------------------------------------------------------
+# journal (crash-resilient checkpointing)
+# ----------------------------------------------------------------------
+
+def _job_key(job: Tuple[str, str, int, float, int]) -> str:
+    name, design_name, cores, scale, seed = job
+    return f"{name}|{design_name}|{cores}|{scale!r}|{seed}"
+
+
+def load_journal(path: str) -> Dict[str, RunSummary]:
+    """Completed jobs from a JSONL journal, tolerant of a torn tail
+    (a writer killed mid-append leaves a partial last line)."""
+    done: Dict[str, RunSummary] = {}
+    if not path or not os.path.exists(path):
+        return done
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail
+            key = rec.pop("_key", None)
+            if key is None:
+                continue
+            done[key] = RunSummary(**rec)
+    return done
+
+
+def _append_journal(fh, key: str, summary: RunSummary) -> None:
+    rec = dataclasses.asdict(summary)
+    rec["_key"] = key
+    fh.write(json.dumps(rec) + "\n")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+
+def _run_grid_parallel(
+    grid: List[Tuple[str, str, int, float, int]],
+    jobs: int,
+    on_done,
+    sleep=time.sleep,
+) -> Dict[str, RunSummary]:
+    """Run *grid* on a process pool, retrying worker crashes.
+
+    A job whose worker process dies (BrokenProcessPool) is retried up
+    to :data:`CRASH_RETRIES` times with doubling backoff — the pool is
+    rebuilt each time since a broken executor is unusable.  Jobs that
+    raise ordinary exceptions propagate immediately (a deterministic
+    simulator bug would fail every retry anyway).
+    """
+    results: Dict[str, RunSummary] = {}
+    pending = list(grid)
+    attempt = 0
+    while pending:
+        workers = min(jobs, len(pending))
+        ctx = multiprocessing.get_context("fork")
+        crashed: List[Tuple[str, str, int, float, int]] = []
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = {pool.submit(_run_one, job): job for job in pending}
+            for fut, job in futures.items():
+                try:
+                    summary = fut.result()
+                except BrokenProcessPool:
+                    crashed.append(job)
+                    continue
+                results[_job_key(job)] = summary
+                on_done(_job_key(job), summary)
+        if not crashed:
+            break
+        attempt += 1
+        if attempt > CRASH_RETRIES:
+            raise RuntimeError(
+                f"{len(crashed)} job(s) crashed their worker "
+                f"{CRASH_RETRIES + 1} times; giving up: "
+                f"{[_job_key(j) for j in crashed]}"
+            )
+        sleep(CRASH_BACKOFF_S * (2 ** (attempt - 1)))
+        pending = crashed
+    return results
+
+
 def run_matrix(
     names: Sequence[str],
     designs: Sequence[FenceDesign],
@@ -104,8 +214,14 @@ def run_matrix(
     seed: int = 12345,
     core_counts: Optional[Sequence[int]] = None,
     jobs: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, str, int], RunSummary]:
-    """Run the full grid; returns {(name, design, cores): summary}."""
+    """Run the full grid; returns {(name, design, cores): summary}.
+
+    With *journal* set each finished job is checkpointed to a JSONL
+    file; *resume* reloads it and skips already-finished jobs.
+    """
     counts = list(core_counts) if core_counts else [num_cores]
     grid = [
         (name, design.name, cores, scale, seed)
@@ -113,14 +229,35 @@ def run_matrix(
         for design in designs
         for cores in counts
     ]
+    done = load_journal(journal) if (journal and resume) else {}
+    if journal and not resume and os.path.exists(journal):
+        os.remove(journal)
+    results: Dict[str, RunSummary] = {
+        _job_key(job): done[_job_key(job)]
+        for job in grid if _job_key(job) in done
+    }
+    todo = [job for job in grid if _job_key(job) not in results]
+
+    journal_fh = open(journal, "a") if journal else None
+
+    def on_done(key: str, summary: RunSummary) -> None:
+        if journal_fh is not None:
+            _append_journal(journal_fh, key, summary)
+
     jobs = jobs or default_jobs()
-    results: List[RunSummary] = []
-    if jobs > 1 and len(grid) > 1:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(min(jobs, len(grid))) as pool:
-            results = pool.map(_run_one, grid)
-    else:
-        results = [_run_one(job) for job in grid]
+    try:
+        if jobs > 1 and len(todo) > 1:
+            results.update(_run_grid_parallel(todo, jobs, on_done))
+        else:
+            for job in todo:
+                summary = _run_one(job)
+                results[_job_key(job)] = summary
+                on_done(_job_key(job), summary)
+    finally:
+        if journal_fh is not None:
+            journal_fh.close()
     return {
-        (r.name, r.design, r.num_cores): r for r in results
+        (r.name, r.design, r.num_cores): r
+        for job in grid
+        for r in (results[_job_key(job)],)
     }

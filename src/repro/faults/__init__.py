@@ -1,0 +1,43 @@
+"""Deterministic fault injection and chaos testing (docs/FAULTS.md).
+
+The package splits into three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the declarative
+  description of *what* to inject (rates, windows, budgets) plus the
+  built-in scenario catalog;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the
+  seed-deterministic decision engine the machine components consult at
+  each hook site;
+* :mod:`repro.faults.chaos` — the scenario × design × seed sweep, the
+  chaos oracles and the ddmin fault-plan shrinker behind ``repro chaos``.
+
+With no injector attached every hook site is a ``faults is None``
+identity test, so the fault-free path stays bit-identical to the golden
+traces.
+"""
+
+from repro.faults.chaos import (
+    ChaosCase,
+    run_chaos_case,
+    run_chaos_matrix,
+    shrink_failing_case,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LEGAL_SCENARIOS,
+    SCENARIOS,
+    make_plan,
+)
+
+__all__ = [
+    "ChaosCase",
+    "FaultInjector",
+    "FaultPlan",
+    "LEGAL_SCENARIOS",
+    "SCENARIOS",
+    "make_plan",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "shrink_failing_case",
+]

@@ -1,0 +1,261 @@
+"""The chaos harness: sweep fault scenarios against the fence designs.
+
+One **case** is ``(scenario, design, seed)``: the seed picks both the
+litmus program (:func:`repro.verify.generator.generate_program`) and
+every injection decision (:class:`repro.faults.FaultInjector`), so a
+failing case replays *exactly* from its three coordinates — no trace
+files, no recorded schedules.
+
+Per case the harness checks the verify oracles (SC-with-fences,
+no-deadlock, termination, recovery soundness) plus the chaos-specific
+**bounded-recovery** oracle: more W+ recoveries than the plan's
+``recovery_bound`` in one litmus-sized run is a recovery livelock even
+if the run eventually completed.
+
+A failing case can be shrunk: ddmin over the injector's fired-injection
+log finds the minimal subset of injections that still breaks the
+machine (replayed via the injector's ``allowed`` allow-list).
+
+``run_chaos_matrix`` sweeps a scenario × design × seed grid with a
+resumable JSONL journal and emits a JSON report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.params import FenceDesign
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, make_plan
+from repro.verify.generator import generate_program
+from repro.verify.oracles import PAPER_DESIGNS, check_invariants, run_program
+from repro.verify.perturb import SchedulePoint
+from repro.verify.shrink import ddmin
+
+
+@dataclass
+class ChaosCase:
+    """Outcome of one (scenario, design, seed) chaos run."""
+
+    scenario: str
+    design: str
+    seed: int
+    #: the plan is protocol-legal (oracle violations are real failures)
+    legal: bool
+    violations: List[str] = field(default_factory=list)
+    cycles: int = 0
+    recoveries: int = 0
+    bounces: int = 0
+    storm_demotions: int = 0
+    #: fired/consulted injection counts from the injector
+    faults: Dict[str, dict] = field(default_factory=dict)
+    #: minimal failing injection subset, when shrinking ran
+    shrunk: Optional[List[Tuple[str, int]]] = None
+    shrink_runs: int = 0
+    #: watchdog post-mortem artifact, when one was written
+    diagnostics_path: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        if self.shrunk is not None:
+            d["shrunk"] = [list(key) for key in self.shrunk]
+        return d
+
+
+def _case_violations(run, plan: FaultPlan) -> List[str]:
+    """Verify oracles + the chaos bounded-recovery oracle."""
+    violations = check_invariants(run)
+    if run.recoveries > plan.recovery_bound:
+        violations.append(
+            f"unbounded-recovery: {run.recoveries} W+ recoveries "
+            f"(bound {plan.recovery_bound}) — recovery livelock"
+        )
+    return violations
+
+
+def _execute(
+    plan: FaultPlan,
+    design: FenceDesign,
+    seed: int,
+    allowed=None,
+    diag_dir: Optional[str] = None,
+):
+    """One deterministic chaos execution; returns (run, injector)."""
+    program = generate_program(seed)
+    injector = FaultInjector(plan, allowed=allowed)
+    run = run_program(
+        program,
+        design,
+        point=SchedulePoint(seed=seed),
+        faults=injector,
+        params_overrides=plan.params_overrides,
+        diag_dir=diag_dir,
+    )
+    return run, injector
+
+
+def run_chaos_case(
+    scenario: str,
+    design: FenceDesign,
+    seed: int,
+    diag_dir: Optional[str] = None,
+) -> ChaosCase:
+    """Run one chaos case and classify it against the oracles."""
+    plan = make_plan(scenario, seed)
+    run, injector = _execute(plan, design, seed, diag_dir=diag_dir)
+    case = ChaosCase(
+        scenario=scenario,
+        design=design.value,
+        seed=seed,
+        legal=plan.legal,
+        violations=_case_violations(run, plan),
+        cycles=run.cycles,
+        recoveries=run.recoveries,
+        bounces=run.bounces,
+        storm_demotions=run.storm_demotions,
+        faults=injector.summary(),
+    )
+    if diag_dir and run.deadlock:
+        case.diagnostics_path = _newest_artifact(diag_dir)
+    return case
+
+
+def _newest_artifact(diag_dir: str) -> Optional[str]:
+    try:
+        files = [
+            os.path.join(diag_dir, f)
+            for f in os.listdir(diag_dir)
+            if f.startswith("deadlock_") and f.endswith(".json")
+        ]
+    except OSError:
+        return None
+    return max(files, key=os.path.getmtime) if files else None
+
+
+def shrink_failing_case(
+    case: ChaosCase,
+    max_runs: int = 200,
+) -> ChaosCase:
+    """ddmin the failing *case* to a minimal injection subset.
+
+    Re-runs the exact case unrestricted to recover the fired-injection
+    log, then minimizes the allow-list while the oracles still flag a
+    violation.  The result is recorded on the returned case
+    (``shrunk`` / ``shrink_runs``); a case that no longer fails is
+    returned unchanged.
+    """
+    design = FenceDesign(case.design)
+    plan = make_plan(case.scenario, case.seed)
+    run, injector = _execute(plan, design, case.seed)
+    if not _case_violations(run, plan):
+        return case  # not reproducible (should not happen: deterministic)
+
+    def still_fails(subset: list) -> bool:
+        sub_run, _ = _execute(plan, design, case.seed, allowed=subset)
+        return bool(_case_violations(sub_run, plan))
+
+    minimized, runs = ddmin(list(injector.log), still_fails,
+                            max_runs=max_runs)
+    case.shrunk = [tuple(key) for key in minimized]
+    case.shrink_runs = runs
+    return case
+
+
+# ----------------------------------------------------------------------
+# the matrix sweep
+# ----------------------------------------------------------------------
+
+def _journal_key(scenario: str, design: str, seed: int) -> str:
+    return f"{scenario}|{design}|{seed}"
+
+
+def _load_journal(path: str) -> Dict[str, dict]:
+    """Completed cases from a (possibly torn-tailed) JSONL journal."""
+    done: Dict[str, dict] = {}
+    if not path or not os.path.exists(path):
+        return done
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crashed writer
+            done[_journal_key(rec["scenario"], rec["design"],
+                              rec["seed"])] = rec
+    return done
+
+
+def run_chaos_matrix(
+    scenarios: Sequence[str],
+    designs: Sequence[FenceDesign] = PAPER_DESIGNS,
+    seeds: Sequence[int] = (),
+    shrink: bool = False,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    diag_dir: Optional[str] = None,
+    progress=None,
+) -> dict:
+    """Sweep scenario × design × seed; return the chaos report dict.
+
+    With *journal* set, each finished case is appended to a JSONL file
+    as it completes; *resume* skips cases already journaled (so an
+    interrupted sweep picks up where it stopped).  *progress* is an
+    optional ``callable(case)`` fired per completed case.
+    """
+    done = _load_journal(journal) if (journal and resume) else {}
+    if journal and not resume and os.path.exists(journal):
+        os.remove(journal)
+    cases: List[ChaosCase] = []
+    journal_fh = open(journal, "a") if journal else None
+    try:
+        for scenario in scenarios:
+            for design in designs:
+                for seed in seeds:
+                    key = _journal_key(scenario, design.value, seed)
+                    if key in done:
+                        rec = dict(done[key])
+                        shrunk = rec.pop("shrunk", None)
+                        case = ChaosCase(**rec)
+                        if shrunk is not None:
+                            case.shrunk = [tuple(k) for k in shrunk]
+                        cases.append(case)
+                        continue
+                    case = run_chaos_case(
+                        scenario, design, seed, diag_dir=diag_dir
+                    )
+                    if shrink and case.failed:
+                        case = shrink_failing_case(case)
+                    cases.append(case)
+                    if journal_fh is not None:
+                        journal_fh.write(json.dumps(case.to_dict()) + "\n")
+                        journal_fh.flush()
+                    if progress is not None:
+                        progress(case)
+    finally:
+        if journal_fh is not None:
+            journal_fh.close()
+    failed_legal = [c for c in cases if c.failed and c.legal]
+    caught_illegal = [c for c in cases if c.failed and not c.legal]
+    missed_illegal = [c for c in cases if not c.failed and not c.legal]
+    report = {
+        "total_cases": len(cases),
+        "scenarios": list(scenarios),
+        "designs": [d.value for d in designs],
+        "seeds": list(seeds),
+        "failed_legal": len(failed_legal),
+        "caught_illegal": len(caught_illegal),
+        "missed_illegal": len(missed_illegal),
+        "cases": [c.to_dict() for c in cases],
+    }
+    return report

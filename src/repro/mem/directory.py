@@ -95,6 +95,8 @@ class DirectoryBank:
         self.controllers: List = []
         #: observability hook (set by Machine.attach_tracer)
         self.tracer = None
+        #: fault-injection hook (set by Machine.attach_faults)
+        self.faults = None
 
     # ------------------------------------------------------------------
     # request entry points
@@ -155,6 +157,13 @@ class DirectoryBank:
         if txn.kind is Msg.GETS:
             self._begin_gets(txn, entry)
         elif txn.kind in (Msg.GETX, Msg.ORDER, Msg.COND_ORDER):
+            if self.faults is not None and self.faults.dir_nack(
+                    self.bank_id, txn.line, txn.requester, txn.kind.value):
+                # transient resource NACK before any sharer is touched:
+                # the requester retries (with backoff under faults).
+                # GetS is never NACKed — loads have no retry path.
+                self._reply(txn, Msg.NACK_BOUNCE)
+                return
             self._begin_getx(txn, entry)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"bank cannot begin {txn.kind}")

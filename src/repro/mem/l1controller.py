@@ -73,6 +73,8 @@ class L1Controller:
         self.recorder = None
         #: observability hook (set by Machine.attach_tracer)
         self.tracer = None
+        #: fault-injection hook (set by Machine.attach_faults)
+        self.faults = None
 
     def _note_po(self, po: int) -> None:
         if self.recorder is not None:
@@ -255,6 +257,14 @@ class L1Controller:
             true_sharing = self.bs.true_sharing(line, txn.word_mask)
             state = self.cache.invalidate(line)
             return Msg.INV_KEEP_SHARER, state is LineState.M, true_sharing
+        if (self.faults is not None and not txn.ordered
+                and self.faults.bs_amplify(self.core_id, line)):
+            # adversarial amplification: answer as if the BS held the
+            # line (writer's whole transaction fails and retries) but
+            # leave the cache and the real BS untouched.  Ordered
+            # requests are never amplified — their non-bounceability is
+            # WS+/SW+'s forward-progress guarantee.
+            return Msg.INV_BOUNCE, False, False
         state = self.cache.invalidate(line)
         return Msg.INV_ACK, state is LineState.M, False
 

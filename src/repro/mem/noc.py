@@ -53,6 +53,8 @@ class MeshNoc:
         self._latency_cache: dict = {}
         #: observability hook (set by Machine.attach_tracer)
         self.tracer = None
+        #: fault-injection hook (set by Machine.attach_faults)
+        self.faults = None
 
     def coords(self, node: int) -> Tuple[int, int]:
         """XY coordinates of a tile (memory port sits at tile 0)."""
@@ -99,6 +101,12 @@ class MeshNoc:
         if lat is None:
             hop_lat = max(1, self.hops(src, dst)) * self.params.mesh_hop_cycles
             lat = cache[key] = hop_lat + self._ser_cycles[idx]
+        if self.faults is not None:
+            # delay jitter / drops perturb this delivery only — the
+            # memoized base latency above stays clean
+            extra = self.faults.noc_perturb(src, dst, kind.value)
+            if extra:
+                lat = lat + extra
         if self.tracer is not None:
             self.tracer.noc_msg(src, dst, kind.value, nbytes, lat, retry)
         return lat

@@ -283,6 +283,19 @@ class Tracer:
         if ev is not None:
             ev.dur = (self.now - ev.ts) + extra
 
+    def storm_demotion(self, core: int, until: int) -> None:
+        """Recovery-storm monitor demoted this core's wfs to sf."""
+        self._instant(core, "storm_demotion", "recovery", {"until": until})
+
+    # ------------------------------------------------------------------
+    # fault injection (any track)
+    # ------------------------------------------------------------------
+
+    def fault(self, track: int, site: str, args: Optional[dict] = None) -> None:
+        """One injected fault fired (repro.faults); *track* places the
+        instant on the lane of the component that absorbed it."""
+        self._instant(track, f"fault_{site}", "fault", args)
+
     # ------------------------------------------------------------------
     # fence-design internals (core tracks)
     # ------------------------------------------------------------------

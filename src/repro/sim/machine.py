@@ -71,6 +71,13 @@ class Machine:
         #: a cached ``tracer is None`` check, so this stays zero-cost.
         self.tracer = None
         self.metrics = None
+        #: fault injection (repro.faults): None unless attach_faults()
+        #: is called — hook sites guard on ``faults is None`` exactly
+        #: like the tracer, keeping the fault-free path bit-identical.
+        self.faults = None
+        #: directory for watchdog post-mortem bundles (None = keep the
+        #: diagnostics in memory only, attached to the DeadlockError)
+        self.diag_dir = None
 
         self.banks: List[DirectoryBank] = [
             DirectoryBank(b, params, self.stats, self.noc, self.queue)
@@ -121,6 +128,26 @@ class Machine:
         for bank in self.banks:
             bank.tracer = tracer
         self.noc.tracer = tracer
+        if self.faults is not None:
+            self.faults.tracer = tracer
+
+    def attach_faults(self, injector) -> None:
+        """Wire a :class:`repro.faults.FaultInjector` into every
+        component (the structural mirror of :meth:`attach_tracer`).
+
+        Each hook site tests a local ``self.faults is None``, so a run
+        without an injector executes exactly the instruction stream the
+        golden traces pin down.  Call before :meth:`run`.
+        """
+        injector.tracer = self.tracer
+        self.faults = injector
+        for core in self.cores:
+            core.faults = injector
+        for l1 in self.l1s:
+            l1.faults = injector
+        for bank in self.banks:
+            bank.faults = injector
+        self.noc.faults = injector
 
     # ------------------------------------------------------------------
     # workload setup

@@ -20,6 +20,7 @@ the positive control proving the checker and the explorer both work.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,8 @@ class ProgramRun:
     scv: Optional[list] = None
     recoveries: int = 0
     bounces: int = 0
+    #: wf -> sf storm demotions (graceful degradation, W+ only)
+    storm_demotions: int = 0
     #: {(tid, op_index): value} for every load the program performed
     observed: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
@@ -100,11 +103,27 @@ def run_program(
     point: SchedulePoint = SchedulePoint(),
     recovery: bool = True,
     warmup: bool = True,
+    faults=None,
+    params_overrides: Optional[dict] = None,
+    diag_dir: Optional[str] = None,
 ) -> ProgramRun:
-    """Execute *program* under *design* at *point* and classify it."""
+    """Execute *program* under *design* at *point* and classify it.
+
+    *faults* is a :class:`repro.faults.FaultInjector` to wire into the
+    machine (the chaos harness's entry point); *params_overrides* are
+    extra :class:`MachineParams` field overrides (e.g. enabling the W+
+    storm-demotion monitor); *diag_dir* enables watchdog post-mortem
+    artifacts.
+    """
     run = ProgramRun(program=program, design=design, point=point)
     params = point.params(design, program.num_threads, recovery=recovery)
+    if params_overrides:
+        params = dataclasses.replace(params, **params_overrides)
     machine = Machine(params, seed=point.seed)
+    if faults is not None:
+        machine.attach_faults(faults)
+    if diag_dir is not None:
+        machine.diag_dir = diag_dir
     addr_map = [machine.alloc.word() for _ in range(program.num_vars)]
     warm_addrs = (
         [addr_map[v] for v in program.warm_vars] if warmup else []
@@ -125,6 +144,7 @@ def run_program(
     run.scv = find_scv(events)
     run.recoveries = machine.stats.wplus_recoveries
     run.bounces = machine.stats.bounces
+    run.storm_demotions = sum(machine.stats.storm_demotions)
     for core in machine.cores:
         for _po, payload in core.notes:
             idx, value = payload

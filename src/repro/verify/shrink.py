@@ -13,9 +13,55 @@ fixed (params, seed).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.verify.generator import LitmusProgram
+
+
+def ddmin(
+    items: Sequence,
+    still_fails: Callable[[list], bool],
+    max_runs: int = 200,
+) -> Tuple[list, int]:
+    """Classic ddmin over an arbitrary item list.
+
+    Minimize *items* (order-preserving) such that
+    ``still_fails(subset)`` still holds, by complement removal with
+    progressively finer granularity.  Returns ``(minimized, runs)``.
+    The chaos harness uses this over a fault plan's fired-injection
+    keys to find the minimal set of injections that still breaks the
+    machine.
+
+    *still_fails* must hold for *items* itself (caller-verified).
+    """
+    current = list(items)
+    runs = 0
+    n = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // n)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            if runs >= max_runs:
+                break
+            complement = current[:start] + current[start + chunk:]
+            if not complement:
+                continue
+            runs += 1
+            if still_fails(complement):
+                current = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    # final singleton check: can the whole set collapse to nothing?
+    if len(current) == 1 and runs < max_runs:
+        runs += 1
+        if still_fails([]):
+            current = []
+    return current, runs
 
 
 class ShrinkResult:

@@ -1,0 +1,106 @@
+"""The chaos acceptance sweep and the fault-free bit-identity contract.
+
+Every *legal* scenario is a protocol-legal perturbation: the SC,
+forward-progress and bounded-recovery oracles must hold for all five
+paper designs across many seeds.  And an attached injector whose plan
+never fires must leave the machine bit-identical to one with no
+injector at all (the golden-trace contract).
+"""
+
+import pytest
+
+from repro.common.params import FenceDesign
+from repro.faults import FaultInjector, FaultPlan, LEGAL_SCENARIOS
+from repro.faults.chaos import run_chaos_case, run_chaos_matrix
+from repro.verify.generator import generate_program
+from repro.verify.oracles import PAPER_DESIGNS, run_program
+from repro.verify.perturb import SchedulePoint
+
+ACCEPTANCE_SEEDS = range(1, 21)
+
+
+@pytest.mark.parametrize("scenario", LEGAL_SCENARIOS)
+@pytest.mark.parametrize("design", PAPER_DESIGNS,
+                         ids=[d.value for d in PAPER_DESIGNS])
+def test_legal_scenarios_hold_all_oracles_across_seeds(scenario, design):
+    """Acceptance: scenario x design across >= 20 seeds, zero violations."""
+    for seed in ACCEPTANCE_SEEDS:
+        case = run_chaos_case(scenario, design, seed)
+        assert not case.violations, (
+            f"{scenario}/{design.value}/seed={seed}: {case.violations}"
+        )
+
+
+def test_every_legal_scenario_actually_injects_somewhere():
+    """Rates are high enough that each scenario's sites fire across the
+    sweep — an inert scenario would vacuously pass the oracles."""
+    report = run_chaos_matrix(LEGAL_SCENARIOS, PAPER_DESIGNS,
+                              seeds=ACCEPTANCE_SEEDS)
+    assert report["failed_legal"] == 0
+    fired_by_scenario = {}
+    perturbing = set()
+    for case in report["cases"]:
+        fired = sum(case["faults"]["fired"].values())
+        fired_by_scenario[case["scenario"]] = (
+            fired_by_scenario.get(case["scenario"], 0) + fired
+        )
+        if case["recoveries"] or case["bounces"]:
+            perturbing.add(case["scenario"])
+    for scenario in ("noc_jitter", "dir_nack", "bounce_storm",
+                     "recovery_storm", "chaos_combo"):
+        assert fired_by_scenario[scenario] > 0, scenario
+    # the timeout scenarios perturb W+ behaviour without a fired site
+    assert "timeout_shrink" in perturbing
+    assert "timeout_inflate" in perturbing
+
+
+def _observed(seed, design, faults=None):
+    program = generate_program(seed)
+    run = run_program(program, design, point=SchedulePoint(seed=seed),
+                      faults=faults)
+    return run
+
+
+@pytest.mark.parametrize("design", PAPER_DESIGNS,
+                         ids=[d.value for d in PAPER_DESIGNS])
+def test_zero_rate_injector_is_bit_identical_to_none(design):
+    """A wired injector with nothing to inject must not move a single
+    cycle: the hook sites only branch on fired decisions."""
+    for seed in (3, 11):
+        bare = _observed(seed, design)
+        inert = _observed(
+            seed, design,
+            faults=FaultInjector(FaultPlan(scenario="inert", seed=seed)),
+        )
+        assert inert.cycles == bare.cycles
+        assert inert.observed == bare.observed
+        assert inert.recoveries == bare.recoveries
+        assert inert.bounces == bare.bounces
+
+
+def test_fault_runs_replay_exactly():
+    """(scenario, seed) fully determines a chaos run — byte-equal
+    outcome dicts on repeat."""
+    a = run_chaos_case("chaos_combo", FenceDesign.W_PLUS, 13)
+    b = run_chaos_case("chaos_combo", FenceDesign.W_PLUS, 13)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_bounded_recovery_oracle_trips():
+    """A plan with a tiny recovery bound flags even a healthy W+ run
+    that recovered once — the oracle is actually wired in."""
+    from repro.faults.chaos import _case_violations
+    from repro.faults.plan import make_plan
+
+    import dataclasses
+
+    plan = dataclasses.replace(make_plan("recovery_storm", 1),
+                               recovery_bound=0)
+    for seed in range(1, 40):
+        inj = FaultInjector(plan)
+        run = _observed(seed, FenceDesign.W_PLUS, faults=inj)
+        if run.recoveries > 0:
+            violations = _case_violations(run, plan)
+            assert any("unbounded-recovery" in v for v in violations)
+            return
+    pytest.fail("no seed produced a W+ recovery under recovery_storm")

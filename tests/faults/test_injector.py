@@ -1,0 +1,137 @@
+"""FaultInjector: decision determinism, budgets, allow-list replay."""
+
+from repro.faults.injector import (
+    SITE_BS_AMP,
+    SITE_DIR_NACK,
+    SITE_NOC_DELAY,
+    SITE_NOC_DROP,
+    FaultInjector,
+)
+from repro.faults.plan import DROP_CYCLES, FaultPlan, make_plan
+
+
+def _drive(inj, n=200):
+    """Consult every hook site *n* times with varied arguments."""
+    for i in range(n):
+        inj.noc_perturb(i % 4, (i + 1) % 4, "GetX")
+        inj.dir_nack(i % 2, 64 * i, i % 4, "Order")
+        inj.bs_amplify(i % 4, 64 * i)
+
+
+def test_same_seed_same_decisions():
+    a = FaultInjector(make_plan("chaos_combo", 9))
+    b = FaultInjector(make_plan("chaos_combo", 9))
+    _drive(a)
+    _drive(b)
+    assert a.log == b.log
+    assert a.log  # the scenario actually fired something
+    assert a.counts == b.counts
+
+
+def test_different_seeds_diverge():
+    a = FaultInjector(make_plan("chaos_combo", 1))
+    b = FaultInjector(make_plan("chaos_combo", 2))
+    _drive(a)
+    _drive(b)
+    assert a.log != b.log
+
+
+def test_decisions_ignore_call_arguments():
+    """Identity is (site, n): the same consultation sequence fires the
+    same faults no matter what src/dst/line values flow past."""
+    a = FaultInjector(make_plan("noc_jitter", 5))
+    b = FaultInjector(make_plan("noc_jitter", 5))
+    for i in range(100):
+        a.noc_perturb(0, 1, "GetS")
+        b.noc_perturb(i % 3, 3 - i % 3, "PutM")
+    assert a.log == b.log
+
+
+def test_allowed_subset_fires_only_that_subset():
+    full = FaultInjector(make_plan("chaos_combo", 9))
+    _drive(full)
+    assert len(full.log) >= 4
+    subset = full.log[::2]
+    replay = FaultInjector(make_plan("chaos_combo", 9), allowed=subset)
+    _drive(replay)
+    assert replay.log == subset
+    # counters advance identically whether or not faults fired
+    assert replay.counts == full.counts
+
+
+def test_empty_allowlist_fires_nothing_but_counts_advance():
+    inj = FaultInjector(make_plan("chaos_combo", 9), allowed=[])
+    _drive(inj)
+    assert inj.log == []
+    assert sum(inj.counts.values()) > 0
+
+
+def test_budgets_cap_fired_injections():
+    plan = FaultPlan(scenario="x", seed=3, dir_nack_rate=1.0,
+                     dir_nack_budget=5, bs_amp_rate=1.0, bs_amp_budget=2)
+    inj = FaultInjector(plan)
+    _drive(inj, n=50)
+    fired = inj.summary()["fired"]
+    assert fired[SITE_DIR_NACK] == 5
+    assert fired[SITE_BS_AMP] == 2
+
+
+def test_drop_returns_drop_cycles_and_respects_budget():
+    plan = FaultPlan(scenario="x", seed=3, noc_drop_rate=1.0,
+                     noc_drop_budget=2)
+    inj = FaultInjector(plan)
+    extras = [inj.noc_perturb(0, 1, "GetX") for _ in range(10)]
+    assert extras.count(DROP_CYCLES) == 2
+    assert all(e in (0, DROP_CYCLES) for e in extras)
+
+
+def test_delay_magnitude_is_bounded_and_nonzero():
+    plan = FaultPlan(scenario="x", seed=3, noc_delay_rate=1.0,
+                     noc_delay_max_cycles=17)
+    inj = FaultInjector(plan)
+    extras = [inj.noc_perturb(0, 1, "GetX") for _ in range(100)]
+    assert all(1 <= e <= 17 for e in extras)
+    assert len(set(extras)) > 1  # actual jitter, not a constant
+
+
+def test_zero_rates_never_fire_or_count():
+    inj = FaultInjector(FaultPlan(scenario="none", seed=1))
+    _drive(inj)
+    assert inj.log == []
+    assert inj.summary()["fired"] == {}
+
+
+def test_retry_backoff_caps_exponential_growth():
+    plan = FaultPlan(scenario="x", seed=1, retry_backoff_base=8,
+                     retry_backoff_cap=256)
+    inj = FaultInjector(plan)
+    delays = [inj.retry_backoff(r, default=20) for r in range(1, 12)]
+    assert delays[0] == 8
+    assert delays[:6] == [8, 16, 32, 64, 128, 256]
+    assert all(d == 256 for d in delays[5:])
+
+
+def test_retry_backoff_disabled_returns_default():
+    inj = FaultInjector(FaultPlan(scenario="x", seed=1))
+    assert inj.retry_backoff(7, default=20) == 20
+
+
+def test_wplus_timeout_scaling():
+    shrink = FaultInjector(FaultPlan(scenario="x", seed=1,
+                                     wplus_timeout_scale=0.2))
+    inflate = FaultInjector(FaultPlan(scenario="x", seed=1,
+                                      wplus_timeout_scale=4.0))
+    neutral = FaultInjector(FaultPlan(scenario="x", seed=1))
+    assert shrink.wplus_timeout(1000) == 200
+    assert inflate.wplus_timeout(1000) == 4000
+    assert neutral.wplus_timeout(1000) == 1000
+    assert shrink.wplus_timeout(1) == 1  # floor at one cycle
+
+
+def test_summary_reports_fired_and_consulted():
+    inj = FaultInjector(make_plan("noc_jitter", 9))
+    for _ in range(50):
+        inj.noc_perturb(0, 1, "GetX")
+    s = inj.summary()
+    assert s["consulted"][SITE_NOC_DELAY] == 50
+    assert 0 < s["fired"][SITE_NOC_DELAY] < 50

@@ -111,6 +111,51 @@ def test_recovery_counters_increment_instead_of_deadlock():
     assert m.stats.wplus_recoveries >= 1
 
 
+def test_stop_is_idempotent_after_all_cores_finish():
+    """Regression: when every core finished, _tick used to leave
+    self._event pointing at its own already-fired event, so a later
+    stop() cancelled a dead event."""
+    m = Machine(tiny_params(num_cores=2, watchdog_interval=500))
+    x = m.alloc.word()
+
+    def t(ctx):
+        for i in range(40):
+            yield ops.Store(x + 64 * (ctx.tid + 1), i)
+            yield ops.Compute(100)
+
+    res = run_threads(m, t, t)
+    assert res.completed
+    # Machine.run already called stop(); the handle must be cleared and
+    # repeated stops must be no-ops
+    assert m._watchdog._event is None
+    m._watchdog.stop()
+    m._watchdog.stop()
+
+
+def test_stop_is_idempotent_after_a_deadlock_raise():
+    """Regression: _tick raised DeadlockError while _event still
+    pointed at the fired event."""
+    m = _all_wf_deadlock_machine(recovery=False)
+    with pytest.raises(DeadlockError):
+        m.run()
+    assert m._watchdog._event is None
+    m._watchdog.stop()  # must not touch a fired event
+    m._watchdog.stop()
+
+
+def test_watchdog_restarts_after_stop():
+    """start() after stop() re-arms cleanly (one fresh live event)."""
+    m = Machine(tiny_params(num_cores=1, watchdog_interval=500))
+    wd = m._watchdog
+    wd.start()
+    first = wd._event
+    wd.stop()
+    assert wd._event is None
+    wd.start()
+    assert wd._event is not None and wd._event is not first
+    wd.stop()
+
+
 def test_watchdog_counts_drain_as_progress():
     """A finished thread with a draining write buffer is progress, not
     deadlock (regression: the watchdog once only looked at op counts)."""
