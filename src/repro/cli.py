@@ -34,6 +34,7 @@ import argparse
 import os
 import sys
 
+from repro.common.errors import DeadlockError, SanitizerError, SCViolationError
 from repro.common.params import FenceDesign, FenceRole
 from repro.eval import figures, tables
 from repro.workloads import litmus
@@ -90,12 +91,17 @@ def _print_run(run) -> None:
     print(f"  cycles        : {run.cycles}")
     if run.result.completed:
         completed = "yes"
+    elif run.result.degraded:
+        completed = f"no (degraded: {run.result.degraded_reason})"
     elif s.cutoff_in_recovery:
         # max_cycles landed mid-W+-recovery: a budget artifact, not a hang
         completed = "no (cycle budget hit during W+ recovery)"
     else:
         completed = "no (cycle budget hit)"
     print(f"  completed     : {completed}")
+    if run.result.sanitizer_violations:
+        print(f"  sanitizer     : {run.result.sanitizer_violations} "
+              "violation(s) recorded")
     print(f"  instructions  : {s.total_instructions}")
     print(f"  busy / fence / other stall : "
           f"{t['busy'] / total:.1%} / {t['fence_stall'] / total:.1%} / "
@@ -133,6 +139,19 @@ def _export_trace(obs, run, out_path: str, fmt: str) -> None:
              if fmt == "chrome" else "") + "]")
 
 
+def _run_budget(args):
+    """RunBudget from the --max-* flags, or None when none was given."""
+    if not (args.max_wall_secs or args.max_events or args.max_rss_mb):
+        return None
+    from repro.sim.governor import RunBudget
+
+    return RunBudget(
+        max_wall_secs=args.max_wall_secs,
+        max_events=args.max_events,
+        max_rss_mb=args.max_rss_mb,
+    )
+
+
 def cmd_run(args) -> int:
     load_all_workloads()
     if args.workload not in REGISTRY:
@@ -141,6 +160,8 @@ def cmd_run(args) -> int:
         return 2
     designs = list(FenceDesign) if args.all_designs else [args.design]
     tracing = args.trace or args.trace_out is not None
+    budget = _run_budget(args)
+    violations = 0
     baseline = None
     for design in designs:
         obs = None
@@ -150,7 +171,9 @@ def cmd_run(args) -> int:
             obs = Observability(metrics_interval=args.metrics_interval)
         run = run_workload(args.workload, design, num_cores=args.cores,
                            scale=args.scale, seed=args.seed,
-                           check=args.check, obs=obs)
+                           check=args.check, obs=obs,
+                           sanitize=args.sanitize, budget=budget)
+        violations += run.result.sanitizer_violations
         _print_run(run)
         if obs is not None and args.trace_out is not None:
             _export_trace(
@@ -171,7 +194,10 @@ def cmd_run(args) -> int:
             print()
             print(render_trace_summary(obs.tracer, stats=run.stats))
         print()
-    return 0
+    # a warn-mode sanitizer records violations instead of raising;
+    # they are still failures for scripting purposes (exit-code table
+    # in the README)
+    return 5 if violations else 0
 
 
 def cmd_trace(args) -> int:
@@ -316,6 +342,7 @@ def cmd_chaos(args) -> int:
         journal=args.journal, resume=args.resume,
         diag_dir=args.diag_dir,
         progress=progress,
+        sanitize=args.sanitize,
     )
     print(f"{report['total_cases']} case(s): "
           f"{report['failed_legal']} legal failure(s), "
@@ -441,6 +468,21 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="CYCLES",
                        help="also sample interval metrics every N cycles "
                             "while tracing")
+    p_run.add_argument("--sanitize", default=None,
+                       choices=("off", "warn", "strict"),
+                       help="runtime protocol sanitizer mode (default: "
+                            "$REPRO_SANITIZE or off); strict raises at "
+                            "the first violation (exit code 5)")
+    p_run.add_argument("--max-wall-secs", type=float, default=None,
+                       metavar="SECS",
+                       help="wall-clock budget: cut off gracefully into "
+                            "a degraded result instead of running on")
+    p_run.add_argument("--max-events", type=int, default=None,
+                       metavar="N",
+                       help="simulated-event budget (graceful cutoff)")
+    p_run.add_argument("--max-rss-mb", type=float, default=None,
+                       metavar="MB",
+                       help="RSS high-water-mark budget (graceful cutoff)")
 
     p_tr = sub.add_parser(
         "trace",
@@ -516,7 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--resume", action="store_true",
                          help="skip cases already in --journal")
     p_chaos.add_argument("--diag-dir", default=None, metavar="DIR",
-                         help="write watchdog post-mortem bundles here")
+                         help="write watchdog/sanitizer post-mortem "
+                              "bundles here")
+    p_chaos.add_argument("--sanitize", default="strict",
+                         choices=("off", "warn", "strict"),
+                         help="per-case protocol sanitizer (default "
+                              "strict: illegal plans are caught at the "
+                              "first violating cycle, not at timeout)")
     p_chaos.add_argument(
         "--out", default="benchmarks/out/chaos_report.json",
         help="JSON report path ('-' to skip writing)",
@@ -583,6 +631,24 @@ def main(argv=None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except SanitizerError as exc:
+        # README exit-code table: 5 = sanitizer violation
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        if exc.diagnostics_path:
+            print(f"[diagnostics written to {exc.diagnostics_path}]",
+                  file=sys.stderr)
+        return 5
+    except DeadlockError as exc:
+        # README exit-code table: 4 = simulated-machine deadlock
+        print(f"deadlock: {exc}", file=sys.stderr)
+        if exc.diagnostics_path:
+            print(f"[diagnostics written to {exc.diagnostics_path}]",
+                  file=sys.stderr)
+        return 4
+    except SCViolationError as exc:
+        # README exit-code table: 1 = correctness-oracle failure
+        print(f"SC violation: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

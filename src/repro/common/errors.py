@@ -35,6 +35,29 @@ class ProtocolError(SimulatorError):
     """The coherence protocol reached an inconsistent state (a bug)."""
 
 
+class SanitizerError(SimulatorError):
+    """The runtime protocol sanitizer found a structural violation.
+
+    Raised (in ``strict`` mode) at the first check that observes broken
+    machine state: a directory entry out of sync with the L1s, two
+    writable copies of a line, Bypass-Set entries outside a weak-fence
+    episode, a non-FIFO write buffer, or a message that can no longer be
+    delivered.  See ``docs/SANITIZER.md`` for the invariant catalog.
+    """
+
+    def __init__(self, message, violation=None, diagnostics=None,
+                 diagnostics_path=None):
+        super().__init__(message)
+        #: the first violation record: dict with ``invariant``,
+        #: ``cycle``, ``core``, ``line`` and ``detail`` keys.
+        self.violation = violation
+        #: post-mortem bundle in the watchdog format (PR 4), augmented
+        #: with the violation record; None when no machine was bound.
+        self.diagnostics = diagnostics
+        #: path of the JSON artifact, when ``Machine.diag_dir`` was set.
+        self.diagnostics_path = diagnostics_path
+
+
 class ThreadReplayError(SimulatorError):
     """A thread diverged during checkpoint replay.
 

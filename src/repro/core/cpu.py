@@ -94,6 +94,9 @@ class Core:
         #: fault-injection hook (repro.faults.FaultInjector) — cached
         #: like the tracer; None keeps the fault-free path untouched.
         self.faults = machine.faults
+        #: protocol-sanitizer hook (repro.sanitizer.Sanitizer) — cached
+        #: like the tracer; None keeps the unsanitized path untouched.
+        self.sanitizer = machine.sanitizer
         self.amap = l1.amap
         self.bs = l1.bs
         self.wb = WriteBuffer(params.write_buffer_entries)
@@ -536,6 +539,8 @@ class Core:
                 self.tracer.wf_complete(self.core_id, pf.fence_id, len(self.bs))
             self.bs.clear_upto(pf.fence_id)
             self.policy.on_wf_complete(pf)
+            if self.sanitizer is not None:
+                self.sanitizer.on_core_transition(self)
 
     def recheck_fence_completion(self) -> None:
         """Re-run fence completion after an external unblock event
@@ -695,6 +700,8 @@ class Core:
             self.tracer.wf_retire(
                 self.core_id, pf.fence_id, len(self.wb._entries)
             )
+        if self.sanitizer is not None:
+            self.sanitizer.on_core_transition(self)
         self._cont_ev = self.queue.schedule(1, self._cb_advance, "cpu.cont")
 
     def _run_strong_fence(self) -> None:
@@ -865,10 +872,16 @@ class Core:
             else:
                 keep.append((po, attr, delta))
         self._mark_journal = keep
+        if self.sanitizer is not None:
+            # rollback state is fully settled here: fences cleared,
+            # post-checkpoint stores squashed, BS emptied.
+            self.sanitizer.on_core_transition(self)
         t0 = self.queue.now
 
         def resume():
             self.recovering = False
+            if self.sanitizer is not None:
+                self.sanitizer.on_recovery_resume(self)
             self.stats.add_fence_stall(
                 self.core_id,
                 (self.queue.now - t0) + self.params.wplus_recovery_cycles,

@@ -55,6 +55,14 @@ class RunSummary:
     seed: int = 0
     #: flat stats (MachineStats.summary())
     stats: Dict[str, float] = field(default_factory=dict)
+    #: a resource budget (REPRO_MAX_*) cut this run off gracefully, or
+    #: the sanitizer stood down in degrade mode — first-class journaled
+    #: outcome, not an exception
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    #: violations a warn/degrade-mode sanitizer (REPRO_SANITIZE)
+    #: recorded during the run (strict raises instead)
+    sanitizer_violations: int = 0
 
     @property
     def total(self) -> float:
@@ -104,6 +112,9 @@ def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
         fence_stall=breakdown["fence_stall"],
         other_stall=breakdown["other_stall"],
         stats=flat,
+        degraded=run.result.degraded,
+        degraded_reason=run.result.degraded_reason,
+        sanitizer_violations=run.result.sanitizer_violations,
     )
 
 

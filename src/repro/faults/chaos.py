@@ -56,8 +56,13 @@ class ChaosCase:
     #: minimal failing injection subset, when shrinking ran
     shrunk: Optional[List[Tuple[str, int]]] = None
     shrink_runs: int = 0
-    #: watchdog post-mortem artifact, when one was written
+    #: watchdog/sanitizer post-mortem artifact, when one was written
     diagnostics_path: Optional[str] = None
+    #: sanitizer mode the case ran under ("off" preserves the legacy
+    #: catch-at-timeout behaviour)
+    sanitize: str = "strict"
+    #: first sanitizer violation, when the sanitizer fired
+    sanitizer: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -87,6 +92,7 @@ def _execute(
     seed: int,
     allowed=None,
     diag_dir: Optional[str] = None,
+    sanitize: str = "off",
 ):
     """One deterministic chaos execution; returns (run, injector)."""
     program = generate_program(seed)
@@ -98,6 +104,7 @@ def _execute(
         faults=injector,
         params_overrides=plan.params_overrides,
         diag_dir=diag_dir,
+        sanitize=sanitize,
     )
     return run, injector
 
@@ -107,10 +114,20 @@ def run_chaos_case(
     design: FenceDesign,
     seed: int,
     diag_dir: Optional[str] = None,
+    sanitize: str = "strict",
 ) -> ChaosCase:
-    """Run one chaos case and classify it against the oracles."""
+    """Run one chaos case and classify it against the oracles.
+
+    The runtime sanitizer rides along as an extra oracle (default
+    ``strict``): a protocol-illegal plan like ``illegal_drop`` is then
+    caught at the *first* structurally-violating cycle (an event parked
+    beyond the delivery horizon) instead of only surfacing when the
+    watchdog times the run out.  Pass ``sanitize="off"`` for the legacy
+    catch-at-timeout behaviour.
+    """
     plan = make_plan(scenario, seed)
-    run, injector = _execute(plan, design, seed, diag_dir=diag_dir)
+    run, injector = _execute(plan, design, seed, diag_dir=diag_dir,
+                             sanitize=sanitize)
     case = ChaosCase(
         scenario=scenario,
         design=design.value,
@@ -122,8 +139,10 @@ def run_chaos_case(
         bounces=run.bounces,
         storm_demotions=run.storm_demotions,
         faults=injector.summary(),
+        sanitize=sanitize,
+        sanitizer=run.sanitizer,
     )
-    if diag_dir and run.deadlock:
+    if diag_dir and (run.deadlock or run.sanitizer):
         case.diagnostics_path = _newest_artifact(diag_dir)
     return case
 
@@ -133,7 +152,8 @@ def _newest_artifact(diag_dir: str) -> Optional[str]:
         files = [
             os.path.join(diag_dir, f)
             for f in os.listdir(diag_dir)
-            if f.startswith("deadlock_") and f.endswith(".json")
+            if f.startswith(("deadlock_", "sanitizer_"))
+            and f.endswith(".json")
         ]
     except OSError:
         return None
@@ -154,12 +174,17 @@ def shrink_failing_case(
     """
     design = FenceDesign(case.design)
     plan = make_plan(case.scenario, case.seed)
-    run, injector = _execute(plan, design, case.seed)
+    # shrink under the same oracle set the case was detected with: a
+    # minimized subset (e.g. one surviving PutM drop) may never deadlock
+    # yet still be structurally illegal — only the sanitizer sees it.
+    sanitize = case.sanitize
+    run, injector = _execute(plan, design, case.seed, sanitize=sanitize)
     if not _case_violations(run, plan):
         return case  # not reproducible (should not happen: deterministic)
 
     def still_fails(subset: list) -> bool:
-        sub_run, _ = _execute(plan, design, case.seed, allowed=subset)
+        sub_run, _ = _execute(plan, design, case.seed, allowed=subset,
+                              sanitize=sanitize)
         return bool(_case_violations(sub_run, plan))
 
     minimized, runs = ddmin(list(injector.log), still_fails,
@@ -205,13 +230,16 @@ def run_chaos_matrix(
     resume: bool = False,
     diag_dir: Optional[str] = None,
     progress=None,
+    sanitize: str = "strict",
 ) -> dict:
     """Sweep scenario × design × seed; return the chaos report dict.
 
     With *journal* set, each finished case is appended to a JSONL file
     as it completes; *resume* skips cases already journaled (so an
     interrupted sweep picks up where it stopped).  *progress* is an
-    optional ``callable(case)`` fired per completed case.
+    optional ``callable(case)`` fired per completed case.  *sanitize*
+    sets the per-case sanitizer mode (see :func:`run_chaos_case`);
+    sanitizer violations are first-class journaled outcomes.
     """
     done = _load_journal(journal) if (journal and resume) else {}
     if journal and not resume and os.path.exists(journal):
@@ -232,7 +260,8 @@ def run_chaos_matrix(
                         cases.append(case)
                         continue
                     case = run_chaos_case(
-                        scenario, design, seed, diag_dir=diag_dir
+                        scenario, design, seed, diag_dir=diag_dir,
+                        sanitize=sanitize,
                     )
                     if shrink and case.failed:
                         case = shrink_failing_case(case)

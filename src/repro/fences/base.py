@@ -116,6 +116,15 @@ class FencePolicy:
         the protected location is still exclusively cached."""
         return self.core.params.sf_base_cycles
 
+    def sanitizer_check(self):
+        """Design-specific structural invariants (repro.sanitizer).
+
+        Yields ``(invariant, line, detail)`` tuples for any violated
+        invariant; the sanitizer reports each with this policy's core.
+        Must be side-effect-free — it runs mid-simulation.
+        """
+        return ()
+
 
 def make_policy(design: FenceDesign, core) -> FencePolicy:
     """Instantiate the per-core policy for *design*."""

@@ -26,3 +26,16 @@ class StrongOnlyPolicy(FencePolicy):
 
     def flavour(self, role: FenceRole) -> FenceFlavour:
         return FenceFlavour.SF
+
+    def sanitizer_check(self):
+        # with every fence an sf there are no wf episodes at all: any
+        # pending fence or BS entry is machinery that must not exist
+        core = self.core
+        if core.pending_fences:
+            yield ("sf-only-pending-wf", None,
+                   f"{len(core.pending_fences)} pending weak fence(s) "
+                   "on an all-sf design")
+        if not core.bs.empty:
+            line = next(iter(core.bs._entries))
+            yield ("sf-only-bs", line,
+                   f"{len(core.bs)} BS entr(ies) on an all-sf design")

@@ -42,3 +42,20 @@ class SWPlusPolicy(FencePolicy):
         return any(
             entry.store_id <= pf.last_store_id for pf in self.core.pending_fences
         )
+
+    def sanitizer_check(self):
+        # CO promotion is only legal for pre-wf stores, and every
+        # ordered store must carry the word mask its Conditional Order
+        # request needs for the false-sharing test.
+        core = self.core
+        pfs = core.pending_fences
+        newest = pfs[-1].last_store_id if pfs else 0
+        for e in core.wb._entries:
+            if e.ordered and e.store_id > newest:
+                yield ("order-outside-episode", e.line,
+                       f"store {e.store_id} ordered but newest pre-wf "
+                       f"store is {newest}")
+            if e.ordered and not e.word_mask:
+                yield ("cond-order-missing-mask", e.line,
+                       f"ordered store {e.store_id} has an empty word "
+                       "mask on SW+")

@@ -68,3 +68,11 @@ class WPlusPolicy(FencePolicy):
             core.stats.storm_demotions[core.core_id] += 1
             if core.tracer is not None:
                 core.tracer.storm_demotion(core.core_id, self._demoted_until)
+
+    def sanitizer_check(self):
+        # rollback recovery is W+'s whole correctness story: a pending
+        # wf without a checkpoint could never be unwound.
+        for pf in self.core.pending_fences:
+            if pf.checkpoint is None:
+                yield ("wplus-missing-checkpoint", None,
+                       f"pending fence {pf.fence_id} has no checkpoint")

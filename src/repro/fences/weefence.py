@@ -83,3 +83,24 @@ class WeeFencePolicy(FencePolicy):
                         core.tracer.wf_convert(core.core_id, pf.fence_id)
                 return "cross_bank"
         return None
+
+    def sanitizer_check(self):
+        # GRT discipline: once the deposit round trip has been
+        # acknowledged (wee_remote_ps set), the deposit must sit at the
+        # fence's deposit module — and, unless the idealized ablation is
+        # on, at no other module (single-module confinement, §2.3).
+        core = self.core
+        banks = core.l1.banks
+        ideal = core.params.wee_ideal
+        for pf in core.pending_fences:
+            if pf.wee_bank is None:
+                continue  # demoted instance already ran as sf
+            key = (core.core_id, pf.fence_id)
+            holders = [b.bank_id for b in banks if key in b.grt]
+            if pf.wee_remote_ps is not None and pf.wee_bank not in holders:
+                yield ("grt-missing-deposit", None,
+                       f"fence {pf.fence_id} deposit absent from bank "
+                       f"{pf.wee_bank}")
+            if not ideal and len(holders) > 1:
+                yield ("grt-confinement", None,
+                       f"fence {pf.fence_id} deposited at banks {holders}")

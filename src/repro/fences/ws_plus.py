@@ -42,3 +42,20 @@ class WSPlusPolicy(FencePolicy):
         return any(
             entry.store_id <= pf.last_store_id for pf in self.core.pending_fences
         )
+
+    def sanitizer_check(self):
+        # Order promotion is only legal for pre-wf stores, and WS+'s
+        # BS is line-granularity: a word mask would mean CO machinery
+        # (SW+) leaked into this design.
+        core = self.core
+        pfs = core.pending_fences
+        newest = pfs[-1].last_store_id if pfs else 0
+        for e in core.wb._entries:
+            if e.ordered and e.store_id > newest:
+                yield ("order-outside-episode", e.line,
+                       f"store {e.store_id} ordered but newest pre-wf "
+                       f"store is {newest}")
+            if e.word_mask:
+                yield ("word-mask-on-coarse-design", e.line,
+                       f"store {e.store_id} carries word mask "
+                       f"{e.word_mask:#x} on WS+")

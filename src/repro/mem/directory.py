@@ -97,6 +97,8 @@ class DirectoryBank:
         self.tracer = None
         #: fault-injection hook (set by Machine.attach_faults)
         self.faults = None
+        #: protocol-sanitizer hook (set by Machine.attach_sanitizer)
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # request entry points
@@ -141,6 +143,8 @@ class DirectoryBank:
             # sharer so it sees (and can bounce) future writes.
             entry.sharers |= txn.keep_sharers
             self.stats.bs_keep_sharer += len(txn.keep_sharers)
+        if self.sanitizer is not None:
+            self.sanitizer.on_dir_transition(self, txn.line)
 
     # ------------------------------------------------------------------
     # transaction processing
@@ -347,6 +351,10 @@ class DirectoryBank:
 
     def _release(self, line: int) -> None:
         self._busy.pop(line, None)
+        if self.sanitizer is not None:
+            # the transaction just committed and the line is (briefly)
+            # not busy: the natural instant to cross-check its entry.
+            self.sanitizer.on_dir_transition(self, line)
         waiting = self._waiting.get(line)
         if waiting:
             nxt = waiting.popleft()

@@ -75,6 +75,8 @@ class L1Controller:
         self.tracer = None
         #: fault-injection hook (set by Machine.attach_faults)
         self.faults = None
+        #: protocol-sanitizer hook (set by Machine.attach_sanitizer)
+        self.sanitizer = None
 
     def _note_po(self, po: int) -> None:
         if self.recorder is not None:
@@ -256,6 +258,8 @@ class L1Controller:
                 return Msg.INV_BOUNCE, False, False
             true_sharing = self.bs.true_sharing(line, txn.word_mask)
             state = self.cache.invalidate(line)
+            if self.sanitizer is not None:
+                self.sanitizer.on_l1_inv(self, line, keep_sharer=True)
             return Msg.INV_KEEP_SHARER, state is LineState.M, true_sharing
         if (self.faults is not None and not txn.ordered
                 and self.faults.bs_amplify(self.core_id, line)):
@@ -266,6 +270,8 @@ class L1Controller:
             # WS+/SW+'s forward-progress guarantee.
             return Msg.INV_BOUNCE, False, False
         state = self.cache.invalidate(line)
+        if self.sanitizer is not None:
+            self.sanitizer.on_l1_inv(self, line, keep_sharer=False)
         return Msg.INV_ACK, state is LineState.M, False
 
     def handle_downgrade(self, line: int) -> bool:

@@ -55,6 +55,9 @@ class WriteBuffer:
         #: counter samples on push/pop, zero-cost when ``tracer is None``
         self.tracer = None
         self.core_id = 0
+        #: protocol-sanitizer hook (set by Machine.attach_sanitizer):
+        #: FIFO/overflow check on push, zero-cost when None
+        self.sanitizer = None
 
     # --- occupancy -----------------------------------------------------
 
@@ -78,6 +81,8 @@ class WriteBuffer:
         self._entries.append(entry)
         if self.tracer is not None:
             self.tracer.wb_depth(self.core_id, len(self._entries))
+        if self.sanitizer is not None:
+            self.sanitizer.on_wb_push(self)
         return entry
 
     def head(self) -> Optional[StoreEntry]:

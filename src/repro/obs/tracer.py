@@ -297,6 +297,16 @@ class Tracer:
         self._instant(track, f"fault_{site}", "fault", args)
 
     # ------------------------------------------------------------------
+    # protocol sanitizer (core tracks, or TRACK_METRICS when core-less)
+    # ------------------------------------------------------------------
+
+    def sanitizer_violation(self, core: Optional[int], invariant: str,
+                            args: Optional[dict] = None) -> None:
+        """The runtime sanitizer observed a structural violation."""
+        track = core if core is not None else TRACK_METRICS
+        self._instant(track, f"sanitizer_{invariant}", "sanitizer", args)
+
+    # ------------------------------------------------------------------
     # fence-design internals (core tracks)
     # ------------------------------------------------------------------
 

@@ -1,0 +1,223 @@
+"""Sanitizer-overhead report (CI, report-only).
+
+Modeled on :mod:`repro.obs.overhead` but deliberately *not* a hard
+gate: the sanitized path is allowed to be slower — it exists to buy
+confidence, not throughput.  This module times one pinned fig89 case
+with the sanitizer **off** and again in **warn** mode (the checking
+cadence without strict's raise), compares both against the committed
+``BENCH_perf.json`` baseline, and reports the ratio so a sanitizer
+change that silently blows up the checking cost is visible in CI.
+
+Two things *are* asserted (they guard correctness, not speed):
+
+* the sanitize-off stats must be bit-identical to the warn-mode stats
+  (checks are read-only — a check that perturbs the run is a bug);
+* the warn-mode run must record zero violations on a healthy machine
+  (a false positive in the invariant catalog is a bug).
+
+Run it the way CI does::
+
+    python -m repro.sanitizer.overhead \
+        --baseline benchmarks/perf/BENCH_perf.json \
+        --out benchmarks/out/sanitizer_overhead.json --report-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict, List
+
+from repro.common.params import MachineParams
+from repro.perf.harness import (
+    DEFAULT_SNAPSHOT_PATH,
+    PROFILES,
+    host_metadata,
+    load_snapshot,
+)
+from repro.sanitizer import Sanitizer
+from repro.workloads.base import REGISTRY, load_all_workloads
+
+DEFAULT_CASE = "fib:S+:c8:s0.5:r12345"
+DEFAULT_OUT = os.path.join("benchmarks", "out", "sanitizer_overhead.json")
+
+
+def _find_case(key: str):
+    for case in PROFILES["fig89"]:
+        if case.key == key:
+            return case
+    known = ", ".join(c.key for c in PROFILES["fig89"])
+    raise SystemExit(f"unknown fig89 case {key!r}; choose from: {known}")
+
+
+def _run_once(case, sanitized: bool) -> Dict[str, object]:
+    """One timed run (in-process, GC disabled around ``Machine.run``
+    only, mirroring ``repro.perf.harness._time_case``)."""
+    from repro.sim.machine import Machine
+
+    cls = REGISTRY[case.workload]
+    workload = cls(scale=case.scale)
+    params = MachineParams().with_cores(case.cores).with_design(case.design)
+    machine = Machine(params, seed=case.seed)
+    sanitizer = None
+    if sanitized:
+        sanitizer = Sanitizer(mode="warn")
+        machine.attach_sanitizer(sanitizer)
+    workload.setup(machine)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        machine.run(max_cycles=workload.cycle_budget)
+        wall = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "wall": wall,
+        "stats": machine.stats.to_dict(),
+        "violations": (len(sanitizer.violations) + sanitizer.dropped
+                       if sanitizer is not None else 0),
+        "sweeps": sanitizer.sweeps if sanitizer is not None else 0,
+        "transition_checks": (sanitizer.transition_checks
+                              if sanitizer is not None else 0),
+    }
+
+
+def run_check(
+    baseline_path: str = DEFAULT_SNAPSHOT_PATH,
+    case_key: str = DEFAULT_CASE,
+    reps: int = 3,
+) -> Dict[str, object]:
+    """Time off vs warn (interleaved A/B) and build the report dict."""
+    load_all_workloads()
+    case = _find_case(case_key)
+    baseline = load_snapshot(baseline_path)
+    base_case = None
+    if baseline is not None:
+        base_case = next(
+            (c for c in baseline.get("cases", []) if c["key"] == case_key),
+            None,
+        )
+    base_median = base_case["median_s"] if base_case else None
+
+    runs = {False: [], True: []}
+    for _ in range(reps):
+        for sanitized in (False, True):
+            runs[sanitized].append(_run_once(case, sanitized))
+
+    out = {}
+    for sanitized, label in ((False, "off"), (True, "warn")):
+        wall = [r["wall"] for r in runs[sanitized]]
+        out[label] = {
+            "reps": len(wall),
+            "wall_s": [round(w, 6) for w in wall],
+            "min_s": round(min(wall), 6),
+            "median_s": round(statistics.median(wall), 6),
+        }
+    warn_last = runs[True][-1]
+    out["warn"]["violations"] = warn_last["violations"]
+    out["warn"]["sweeps"] = warn_last["sweeps"]
+    out["warn"]["transition_checks"] = warn_last["transition_checks"]
+
+    failures: List[str] = []
+    if runs[False][-1]["stats"] != runs[True][-1]["stats"]:
+        diff = [k for k, v in runs[False][-1]["stats"].items()
+                if v != runs[True][-1]["stats"].get(k)]
+        failures.append(
+            f"sanitizer perturbed the simulation: stats differ in {diff}"
+        )
+    if warn_last["violations"]:
+        failures.append(
+            f"sanitizer reported {warn_last['violations']} violation(s) "
+            "on a healthy machine (false positive in the catalog)"
+        )
+
+    off_min, warn_min = out["off"]["min_s"], out["warn"]["min_s"]
+    return {
+        "case": case_key,
+        "baseline_path": baseline_path,
+        "baseline_median_s": base_median,
+        "off": out["off"],
+        "warn": out["warn"],
+        "sanitizer_overhead_x": (
+            round(warn_min / off_min, 3) if off_min else None
+        ),
+        "off_vs_baseline_x": (
+            round(off_min / base_median, 3) if base_median else None
+        ),
+        "host": host_metadata(),
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def render_report(report: Dict[str, object]) -> str:
+    lines = [f"sanitizer-overhead check: {report['case']} (report-only)"]
+    base = report["baseline_median_s"]
+    lines.append(
+        f"  baseline (unsanitized) : {base:.4f}s median"
+        if base is not None else "  baseline : MISSING"
+    )
+    lines.append(f"  sanitize off           : {report['off']['min_s']:.4f}s")
+    lines.append(f"  sanitize warn          : {report['warn']['min_s']:.4f}s "
+                 f"({report['warn']['sweeps']} sweeps, "
+                 f"{report['warn']['transition_checks']} transition checks)")
+    if report["sanitizer_overhead_x"]:
+        lines.append(
+            f"  sanitizer overhead     : "
+            f"{report['sanitizer_overhead_x']:.2f}x (informational)"
+        )
+    if report["off_vs_baseline_x"]:
+        lines.append(
+            f"  off path vs baseline   : {report['off_vs_baseline_x']:.2f}x"
+        )
+    for failure in report["failures"]:
+        lines.append(f"  FAIL: {failure}")
+    lines.append("  verdict: " + ("OK" if report["ok"] else "FAILED"))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitizer.overhead",
+        description="report the runtime sanitizer's checking overhead",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_SNAPSHOT_PATH)
+    parser.add_argument("--case", default=DEFAULT_CASE,
+                        help=f"fig89 case key (default {DEFAULT_CASE})")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="interleaved off/warn rep pairs")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="write the JSON report here")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print and save the report but always exit 0")
+    args = parser.parse_args(argv)
+
+    report = run_check(
+        baseline_path=args.baseline,
+        case_key=args.case,
+        reps=args.reps,
+    )
+    print(render_report(report))
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    if args.report_only:
+        return 0
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

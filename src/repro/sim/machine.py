@@ -31,6 +31,7 @@ from repro.mem.memory import MemoryImage
 from repro.mem.noc import MeshNoc
 from repro.runtime.alloc import Allocator
 from repro.sim.deadlock import Watchdog
+from repro.sim.governor import ResourceGovernor, RunBudget
 from repro.sim.scv import DependenceRecorder
 
 
@@ -44,6 +45,13 @@ class SimResult:
     completed: bool
     #: dependence events, when ``track_dependences`` was enabled
     events: Optional[list] = None
+    #: a resource budget cut the run off, or the sanitizer stood down
+    #: in ``degrade`` mode — the run ended gracefully but incompletely
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    #: violations recorded by an attached sanitizer (warn/degrade modes;
+    #: strict raises before the result is built)
+    sanitizer_violations: int = 0
 
 
 class Machine:
@@ -75,6 +83,11 @@ class Machine:
         #: is called — hook sites guard on ``faults is None`` exactly
         #: like the tracer, keeping the fault-free path bit-identical.
         self.faults = None
+        #: runtime protocol sanitizer (repro.sanitizer): None unless
+        #: attach_sanitizer() is called — same ``is None`` guard
+        #: contract as the tracer/injector, so the unsanitized hot path
+        #: is untouched and bit-identical to the goldens.
+        self.sanitizer = None
         #: directory for watchdog post-mortem bundles (None = keep the
         #: diagnostics in memory only, attached to the DeadlockError)
         self.diag_dir = None
@@ -149,6 +162,25 @@ class Machine:
             bank.faults = injector
         self.noc.faults = injector
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Wire a :class:`repro.sanitizer.Sanitizer` into every
+        component (same shape as :meth:`attach_tracer`).
+
+        Each hook site tests a local ``self.sanitizer is None``, so a
+        run without one executes exactly the golden instruction stream.
+        Call before :meth:`run`.
+        """
+        sanitizer.bind(self)
+        self.sanitizer = sanitizer
+        for core in self.cores:
+            core.sanitizer = sanitizer
+            core.wb.sanitizer = sanitizer
+            core.wb.core_id = core.core_id
+        for l1 in self.l1s:
+            l1.sanitizer = sanitizer
+        for bank in self.banks:
+            bank.sanitizer = sanitizer
+
     # ------------------------------------------------------------------
     # workload setup
     # ------------------------------------------------------------------
@@ -213,8 +245,15 @@ class Machine:
         """Callback from a core whose thread ran out of operations."""
         core._kick_drain()  # flush any leftover buffered stores
 
-    def run(self, max_cycles: Optional[int] = None) -> SimResult:
-        """Run to completion (or *max_cycles* / params.max_cycles)."""
+    def run(self, max_cycles: Optional[int] = None,
+            budget: Optional[RunBudget] = None) -> SimResult:
+        """Run to completion (or *max_cycles* / params.max_cycles).
+
+        *budget* bounds the run by wall-clock time, event count and/or
+        RSS watermark; a breach stops the queue gracefully and the
+        result comes back ``degraded`` with the reason — never a hang
+        or a hard kill.
+        """
         limit = max_cycles or self.params.max_cycles or None
         for core in self.cores:
             core.start()
@@ -228,15 +267,33 @@ class Machine:
         self.queue.clear_stop()
         if n_done == len(self.cores):
             self.queue.request_stop()
+        governor = None
+        if budget is not None and budget.enabled:
+            governor = ResourceGovernor(self, budget)
         self._watchdog.start()
         if self.metrics is not None:
             self.metrics.start()
-        self.queue.run(until=limit)
-        self._watchdog.stop()
-        if self.metrics is not None:
-            # stop the sampling pump before the quiesce drain below so
-            # its self-rescheduling event doesn't keep the queue alive
-            self.metrics.stop()
+        if self.sanitizer is not None:
+            self.sanitizer.start()
+        if governor is not None:
+            governor.start()
+        try:
+            self.queue.run(until=limit)
+        finally:
+            # always executed — including when a workload callable or a
+            # strict sanitizer raises — so no run can leak a live
+            # watchdog or a self-rescheduling sampling pump into the
+            # next test.  The pumps must also be down *before* the
+            # quiesce drain below: a rescheduling pump event would keep
+            # the queue alive to exactly the drain horizon and perturb
+            # stats.cycles.
+            self._watchdog.stop()
+            if self.metrics is not None:
+                self.metrics.stop()
+            if self.sanitizer is not None:
+                self.sanitizer.stop()
+            if governor is not None:
+                governor.stop()
         completed = self._all_done()
         if completed:
             # drain in-flight protocol events (writebacks, GRT
@@ -249,13 +306,33 @@ class Machine:
             # draining its write buffer: the run is incomplete because
             # of the budget, not a hang — flag it so callers can tell.
             self.stats.cutoff_in_recovery = True
+        if self.sanitizer is not None:
+            # one closing sweep over the quiesced (or cut-off) state;
+            # raises in strict mode like any in-run check.
+            self.sanitizer.final_check()
         self.stats.cycles = self.queue.now
         if self.tracer is not None:
             self.tracer.finalize()
         events = self.recorder.events if self.recorder else None
+        degraded_reason = None
+        if governor is not None and governor.breached is not None:
+            degraded_reason = governor.breached
+        elif self.sanitizer is not None and self.sanitizer.degraded:
+            first = self.sanitizer.first_violation
+            degraded_reason = (
+                "sanitizer stood down after violation: "
+                f"{first['invariant']} at cycle {first['cycle']}"
+            )
+        violations = (
+            len(self.sanitizer.violations) + self.sanitizer.dropped
+            if self.sanitizer is not None else 0
+        )
         return SimResult(
             stats=self.stats,
             cycles=self.queue.now,
             completed=completed,
             events=events,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
+            sanitizer_violations=violations,
         )

@@ -24,7 +24,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import DeadlockError, SimulatorError
+from repro.common.errors import DeadlockError, SanitizerError, SimulatorError
 from repro.common.params import FenceDesign
 from repro.core import isa as ops
 from repro.sim.machine import Machine
@@ -60,6 +60,8 @@ class ProgramRun:
     error: Optional[str] = None
     #: dependence cycle found by the SCV checker, if any
     scv: Optional[list] = None
+    #: first sanitizer violation, if a strict sanitizer fired
+    sanitizer: Optional[str] = None
     recoveries: int = 0
     bounces: int = 0
     #: wf -> sf storm demotions (graceful degradation, W+ only)
@@ -106,6 +108,7 @@ def run_program(
     faults=None,
     params_overrides: Optional[dict] = None,
     diag_dir: Optional[str] = None,
+    sanitize: str = "off",
 ) -> ProgramRun:
     """Execute *program* under *design* at *point* and classify it.
 
@@ -113,7 +116,11 @@ def run_program(
     machine (the chaos harness's entry point); *params_overrides* are
     extra :class:`MachineParams` field overrides (e.g. enabling the W+
     storm-demotion monitor); *diag_dir* enables watchdog post-mortem
-    artifacts.
+    artifacts; *sanitize* attaches a runtime protocol sanitizer
+    ("warn" | "strict" | "degrade") as an additional oracle — under a
+    strict sanitizer a corrupted machine state is classified at the
+    first violating cycle instead of surfacing later as a
+    deadlock/livelock at the cycle cap.
     """
     run = ProgramRun(program=program, design=design, point=point)
     params = point.params(design, program.num_threads, recovery=recovery)
@@ -122,6 +129,12 @@ def run_program(
     machine = Machine(params, seed=point.seed)
     if faults is not None:
         machine.attach_faults(faults)
+    if sanitize != "off":
+        from repro.sanitizer import Sanitizer
+
+        # sample well inside the 5k verify watchdog interval so a
+        # violation is attributed by the sanitizer, not the watchdog
+        machine.attach_sanitizer(Sanitizer(mode=sanitize, interval=500))
     if diag_dir is not None:
         machine.diag_dir = diag_dir
     addr_map = [machine.alloc.word() for _ in range(program.num_vars)]
@@ -134,6 +147,9 @@ def run_program(
         result = machine.run()
         run.completed = result.completed
         run.cycles = result.cycles
+    except SanitizerError as exc:
+        run.sanitizer = str(exc)
+        run.cycles = machine.queue.now
     except DeadlockError as exc:
         run.deadlock = str(exc)
         run.cycles = machine.queue.now
@@ -161,9 +177,11 @@ def check_invariants(run: ProgramRun) -> List[str]:
     violations: List[str] = []
     if run.error is not None:
         violations.append(f"simulator-error: {run.error}")
+    if run.sanitizer is not None:
+        violations.append(f"sanitizer: {run.sanitizer}")
     if run.deadlock is not None:
         violations.append(f"deadlock: {run.deadlock}")
-    elif not run.completed and run.error is None:
+    elif not run.completed and run.error is None and run.sanitizer is None:
         violations.append(
             f"livelock: run hit the cycle cap at {run.cycles} cycles"
         )

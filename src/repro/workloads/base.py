@@ -104,12 +104,21 @@ def run_workload(
     params: Optional[MachineParams] = None,
     check: bool = False,
     obs=None,
+    sanitize: Optional[str] = None,
+    budget=None,
 ) -> WorkloadRun:
     """Build, run and wrap one workload under one fence design.
 
     *obs* is an optional :class:`repro.obs.Observability` session; it is
     attached to the machine before the run so its tracer/metrics cover
     the whole execution.
+
+    *sanitize* attaches a runtime protocol sanitizer in the given mode
+    ("warn" | "strict" | "degrade"); None falls back to the
+    ``REPRO_SANITIZE`` environment variable (so matrix subprocesses and
+    CI inherit it), "off" disables it.  *budget* is an optional
+    :class:`repro.sim.governor.RunBudget`; None falls back to the
+    ``REPRO_MAX_*`` environment variables.
     """
     cls = REGISTRY[name]
     workload = cls(scale=scale)
@@ -119,8 +128,18 @@ def run_workload(
     machine = Machine(params, seed=seed)
     if obs is not None:
         obs.attach(machine)
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "off") or "off"
+    if sanitize != "off":
+        from repro.sanitizer import Sanitizer
+
+        machine.attach_sanitizer(Sanitizer(mode=sanitize))
+    if budget is None:
+        from repro.sim.governor import RunBudget
+
+        budget = RunBudget.from_env()
     workload.setup(machine)
-    result = machine.run(max_cycles=workload.cycle_budget)
+    result = machine.run(max_cycles=workload.cycle_budget, budget=budget)
     if check:
         workload.check(machine)
     return WorkloadRun(

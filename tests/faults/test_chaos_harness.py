@@ -56,10 +56,12 @@ class TestDdmin:
 # illegal scenario: caught, shrunk, replayed
 # ----------------------------------------------------------------------
 
-def _first_failing_illegal_case(designs=(FenceDesign.S_PLUS,)):
+def _first_failing_illegal_case(designs=(FenceDesign.S_PLUS,),
+                                sanitize="strict"):
     for design in designs:
         for seed in range(1, 10):
-            case = run_chaos_case("illegal_drop", design, seed)
+            case = run_chaos_case("illegal_drop", design, seed,
+                                  sanitize=sanitize)
             if case.failed:
                 return case
     pytest.fail("illegal_drop never tripped the oracles")
@@ -74,10 +76,27 @@ def test_illegal_drop_is_caught():
     assert caught >= 8
 
 
-def test_illegal_drop_failure_is_a_deadlock_or_livelock():
+def test_illegal_drop_is_caught_by_the_sanitizer_at_first_violation():
+    # the default (strict) sanitizer classifies the dropped message at
+    # the first sampling tick that sees an undeliverable event — long
+    # before the watchdog's no-progress timeout would fire
     case = _first_failing_illegal_case()
+    assert case.sanitizer is not None
+    assert any(v.startswith("sanitizer") for v in case.violations)
+    assert "event-horizon" in case.sanitizer
+
+
+def test_illegal_drop_without_sanitizer_reproduces_the_late_deadlock():
+    # sanitize="off" preserves the legacy behaviour: the failure only
+    # surfaces when the watchdog times the hung run out, much later
+    strict = _first_failing_illegal_case()
+    off = run_chaos_case("illegal_drop", FenceDesign(strict.design),
+                         strict.seed, sanitize="off")
+    assert off.failed
     assert any(v.startswith(("deadlock", "livelock"))
-               for v in case.violations)
+               for v in off.violations)
+    assert off.sanitizer is None
+    assert strict.cycles < off.cycles
 
 
 def test_shrink_finds_a_minimal_injection_subset():
@@ -95,8 +114,11 @@ def test_shrunk_subset_still_reproduces_the_failure():
 
     case = shrink_failing_case(_first_failing_illegal_case())
     plan = make_plan(case.scenario, case.seed)
+    # replay under the same oracle set the case was detected with: a
+    # minimal drop subset may not deadlock, but the sanitizer still
+    # flags the undeliverable message
     run, injector = _execute(plan, FenceDesign(case.design), case.seed,
-                             allowed=case.shrunk)
+                             allowed=case.shrunk, sanitize=case.sanitize)
     assert _case_violations(run, plan)
     assert set(injector.log) <= set(case.shrunk)
 

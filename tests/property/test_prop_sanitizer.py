@@ -1,0 +1,105 @@
+"""Property test: the sanitizer's invariants hold under random traffic.
+
+Two angles on the same claim.  First, random load/store/fence mixes
+hammer the directory and the L1s on a tiny exact-interleaving machine
+with a **strict** sanitizer attached on a tight cadence — any schedule
+in which the protocol's own bookkeeping (sharer/owner lists, BS
+episodes, WB FIFO order) drifts from the structural invariants raises
+immediately.  Second, the verify generator's litmus programs run the
+same way, covering the fence-heavy shapes the random mix under-samples.
+
+Either test failing means one of two bugs: the protocol broke an
+invariant, or the sanitizer's catalog has a false positive.  Both are
+release blockers, which is what makes the property worth the runtime.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import FenceDesign, FenceRole
+from repro.core import isa as ops
+from repro.sanitizer import Sanitizer
+from repro.sim.machine import Machine
+
+from tests.support import ALL_DESIGNS, tiny_params
+
+
+def _random_thread(rng, addrs, n_ops, role):
+    """A deterministic op list drawn up-front (threads must replay).
+
+    *role* is the thread's fence role: like the litmus generator, only
+    one thread per program gets CRITICAL (wf) fences — two concurrent
+    wf episodes bouncing each other's stores is the unsynchronized
+    pattern the designs are not required to resolve (paper §3.3).
+    """
+    body = []
+    stores_since_fence = 0
+    for _ in range(n_ops):
+        roll = rng.random()
+        addr = rng.choice(addrs)
+        if roll < 0.40:
+            body.append(ops.Store(addr, rng.randrange(1, 100)))
+            stores_since_fence += 1
+        elif roll < 0.75:
+            body.append(ops.Load(addr))
+        elif roll < 0.90 and stores_since_fence:
+            body.append(ops.Fence(role))
+            stores_since_fence = 0
+        else:
+            body.append(ops.Compute(rng.randrange(1, 120)))
+
+    def fn(ctx):
+        for op in body:
+            yield op
+
+    return fn
+
+
+@given(design=st.sampled_from(ALL_DESIGNS), seed=st.integers(0, 2**20))
+@settings(max_examples=30, deadline=None)
+def test_random_traffic_never_trips_the_sanitizer(design, seed):
+    m = Machine(tiny_params(design, num_cores=2), seed=seed)
+    sanitizer = Sanitizer(mode="strict", interval=200)
+    m.attach_sanitizer(sanitizer)
+    rng = random.Random(seed)
+    # few addresses + two cores = constant sharer/owner churn
+    addrs = [m.alloc.word() for _ in range(3)]
+    m.spawn(_random_thread(rng, addrs, n_ops=20, role=FenceRole.CRITICAL))
+    m.spawn(_random_thread(rng, addrs, n_ops=20, role=FenceRole.STANDARD))
+    result = m.run(max_cycles=300_000)  # strict: raises on violation
+    assert result.completed, "random traffic must quiesce"
+    assert sanitizer.violations == []
+    assert sanitizer.sweeps > 0
+
+
+@given(design=st.sampled_from(ALL_DESIGNS), seed=st.integers(0, 2**20))
+@settings(max_examples=15, deadline=None)
+def test_generated_litmus_programs_uphold_the_invariants(design, seed):
+    from repro.verify.generator import generate_program
+    from repro.verify.oracles import run_program
+    from repro.verify.perturb import SchedulePoint
+
+    program = generate_program(seed)
+    run = run_program(program, design, point=SchedulePoint(seed=seed),
+                      sanitize="strict")
+    assert run.sanitizer is None, run.sanitizer
+    assert run.error is None, run.error
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_post_run_sweep_of_a_quiesced_machine_is_clean(seed):
+    """A sanitizer bound *after* the fact must also find nothing: the
+    quiesced end state satisfies every invariant, not just the sampled
+    mid-run states."""
+    m = Machine(tiny_params(FenceDesign.SW_PLUS, num_cores=2), seed=seed)
+    rng = random.Random(seed)
+    addrs = [m.alloc.word() for _ in range(3)]
+    m.spawn(_random_thread(rng, addrs, n_ops=16, role=FenceRole.CRITICAL))
+    m.spawn(_random_thread(rng, addrs, n_ops=16, role=FenceRole.STANDARD))
+    assert m.run(max_cycles=300_000).completed
+    sanitizer = Sanitizer(mode="warn").bind(m)
+    sanitizer.check_all()
+    assert sanitizer.violations == []

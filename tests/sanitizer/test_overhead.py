@@ -1,0 +1,58 @@
+"""Sanitizer-overhead report plumbing (the timing itself runs in CI)."""
+
+import pytest
+
+from repro.sanitizer import overhead
+
+
+def test_find_case_rejects_unknown_keys():
+    with pytest.raises(SystemExit, match="unknown fig89 case"):
+        overhead._find_case("nope:S+:c8:s0.5:r12345")
+
+
+def test_run_once_reports_sanitizer_activity():
+    from repro.workloads.base import load_all_workloads
+
+    load_all_workloads()
+    case = overhead._find_case(overhead.DEFAULT_CASE)
+    plain = overhead._run_once(case, sanitized=False)
+    warned = overhead._run_once(case, sanitized=True)
+    assert plain["violations"] == 0 and plain["sweeps"] == 0
+    assert warned["violations"] == 0
+    assert warned["sweeps"] > 0 and warned["transition_checks"] > 0
+    # the non-negotiable part of the report: warn mode is invisible
+    assert warned["stats"] == plain["stats"]
+
+
+def test_render_report_failure_and_success():
+    report = {
+        "case": overhead.DEFAULT_CASE,
+        "baseline_median_s": 0.1,
+        "off": {"min_s": 0.12, "reps": 3},
+        "warn": {"min_s": 0.15, "reps": 3, "sweeps": 4,
+                 "transition_checks": 900},
+        "sanitizer_overhead_x": 1.25,
+        "off_vs_baseline_x": 1.2,
+        "failures": ["sanitizer perturbed the simulation: ..."],
+        "ok": False,
+    }
+    text = overhead.render_report(report)
+    assert "FAIL" in text and "verdict: FAILED" in text
+    assert "1.25x" in text
+    report["failures"] = []
+    report["ok"] = True
+    assert "verdict: OK" in overhead.render_report(report)
+
+
+def test_missing_baseline_is_reported_not_fatal(tmp_path):
+    report = overhead.run_check(
+        baseline_path=str(tmp_path / "absent.json"),
+        case_key=overhead.DEFAULT_CASE,
+        reps=1,
+    )
+    assert report["baseline_median_s"] is None
+    assert report["off_vs_baseline_x"] is None
+    # the off-vs-warn comparison still ran and held
+    assert report["ok"], report["failures"]
+    assert report["sanitizer_overhead_x"] is not None
+    assert "baseline : MISSING" in overhead.render_report(report)
