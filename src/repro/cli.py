@@ -6,6 +6,7 @@ Commands
 ``trace``    run one workload with tracing on and explore its timeline
 ``litmus``   run a litmus kernel across designs and report outcomes
 ``verify``   schedule-exploration verification (SCV/deadlock hunting)
+``synth``    cost-aware minimal fence placement synthesis per design
 ``chaos``    fault-injection sweep with SC/progress/recovery oracles
 ``perf``     time the pinned perf matrix, snapshot + regression check
 ``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
@@ -21,6 +22,7 @@ Examples::
     python -m repro run TreeOverwrite --all-designs
     python -m repro litmus sb --design W+
     python -m repro verify --designs all --budget 200
+    python -m repro synth --program sb --designs all --seed 1
     python -m repro chaos --scenarios all --seeds 20
     python -m repro chaos --scenarios illegal_drop --designs S+ --shrink
     python -m repro perf --profile tiny --report-only
@@ -34,7 +36,12 @@ import argparse
 import os
 import sys
 
-from repro.common.errors import DeadlockError, SanitizerError, SCViolationError
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    SanitizerError,
+    SCViolationError,
+)
 from repro.common.params import FenceDesign, FenceRole
 from repro.eval import figures, tables
 from repro.workloads import litmus
@@ -294,6 +301,72 @@ def cmd_verify(args) -> int:
     return 1 if report.violations else 0
 
 
+def _designs_list(value: str):
+    """Parse an 'all'-or-comma-list designs argument (raises
+    argparse.ArgumentTypeError on an unknown name)."""
+    from repro.verify.oracles import PAPER_DESIGNS
+
+    if value.strip().lower() == "all":
+        return PAPER_DESIGNS
+    designs = tuple(
+        _design(name.strip()) for name in value.split(",") if name.strip()
+    )
+    if not designs:
+        raise argparse.ArgumentTypeError("no designs given")
+    return designs
+
+
+def cmd_synth(args) -> int:
+    from repro.eval.tables import render_synth_table
+    from repro.synth import SynthConfig, run_synthesis
+    from repro.synth.programs import NAMED_PROGRAMS
+
+    try:
+        designs = _designs_list(args.designs)
+    except argparse.ArgumentTypeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    sanitize = args.sanitize or os.environ.get("REPRO_SANITIZE") or "off"
+    config = SynthConfig(
+        program=args.program,
+        designs=designs,
+        seed=args.seed,
+        num_points=args.points,
+        site_mode=args.sites,
+        max_runs=args.max_runs,
+        audit=not args.no_audit,
+        audit_factor=args.audit_factor,
+        sanitize=sanitize,
+    )
+
+    def progress(design_value, entry):
+        if entry["status"] != "ok":
+            print(f"  {design_value:4s} {entry['status']}")
+            return
+        best = entry["placements"][0]
+        print(f"  {design_value:4s} {entry['strategy']:10s} "
+              f"{entry['candidates_tested']:3d} candidate(s), "
+              f"{entry['search_runs']:4d} run(s) -> {best['placement']}")
+
+    print(f"synth: program {args.program!r}, {len(designs)} design(s), "
+          f"{args.points} adversary point(s), seed {args.seed}")
+    try:
+        report = run_synthesis(config, budget=_run_budget(args),
+                               progress=progress)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        print(f"named programs: {', '.join(NAMED_PROGRAMS)}",
+              file=sys.stderr)
+        return 2
+    print()
+    print(render_synth_table(report.to_dict()))
+    if args.out != "-":
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        report.write(args.out)
+        print(f"[report written to {args.out}]")
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args) -> int:
     import json
 
@@ -531,6 +604,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path ('-' to skip writing)",
     )
 
+    p_syn = sub.add_parser(
+        "synth",
+        help="synthesize minimal-cost SC-safe fence placements per design",
+    )
+    p_syn.add_argument(
+        "--program", default="sb",
+        help="named program (sb, sb3, mp, iriw) or 'shape:SEED' drawn "
+             "from the verify generator (e.g. random:7)",
+    )
+    p_syn.add_argument(
+        "--designs", "--design", default="all", dest="designs",
+        help="'all' (the paper's five) or a comma list, e.g. 'S+,W+'",
+    )
+    p_syn.add_argument("--seed", type=int, default=1,
+                       help="adversary-schedule seed (default 1); the "
+                            "report is bit-identical for a fixed "
+                            "(program, designs, seed)")
+    p_syn.add_argument("--points", type=int, default=12,
+                       help="adversary schedule points per search "
+                            "(audit re-verifies at --audit-factor x "
+                            "this; default 12)")
+    p_syn.add_argument("--sites", default=None,
+                       choices=("auto", "annotated"),
+                       help="fence-site extraction (default: 'annotated' "
+                            "when the program carries fences, else "
+                            "'auto' store->load boundaries)")
+    p_syn.add_argument("--max-runs", type=int, default=4000,
+                       help="simulator-run budget per design (search "
+                            "and audit each; default 4000)")
+    p_syn.add_argument("--no-audit", action="store_true",
+                       help="skip the double-budget re-verification and "
+                            "weakening checks")
+    p_syn.add_argument("--audit-factor", type=int, default=2,
+                       help="audit at this multiple of --points "
+                            "(default 2)")
+    p_syn.add_argument("--sanitize", default=None,
+                       choices=("off", "warn", "strict"),
+                       help="protocol sanitizer mode for every synthesis "
+                            "run (default: $REPRO_SANITIZE or off); "
+                            "sanitizer hits count as oracle failures")
+    p_syn.add_argument("--max-wall-secs", type=float, default=None,
+                       metavar="SECS",
+                       help="wall-clock budget for the whole synthesis "
+                            "(graceful cutoff: remaining designs are "
+                            "marked exhausted-wall)")
+    p_syn.add_argument("--max-events", type=int, default=None,
+                       metavar="N", help=argparse.SUPPRESS)
+    p_syn.add_argument("--max-rss-mb", type=float, default=None,
+                       metavar="MB",
+                       help="RSS high-water-mark budget (graceful cutoff)")
+    p_syn.add_argument(
+        "--out", default="benchmarks/out/synth_report.json",
+        help="JSON report path ('-' to skip writing)",
+    )
+
     p_chaos = sub.add_parser(
         "chaos",
         help="fault-injection sweep: scenario x design x seed matrix "
@@ -619,6 +747,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "litmus": cmd_litmus,
         "verify": cmd_verify,
+        "synth": cmd_synth,
         "chaos": cmd_chaos,
         "perf": cmd_perf,
         "figure": cmd_figure,

@@ -102,6 +102,23 @@ def flavour_for(design: FenceDesign, role: FenceRole) -> FenceFlavour:
     return FenceFlavour.WF
 
 
+def role_for_flavour(design: FenceDesign, flavour: FenceFlavour):
+    """Inverse of :func:`flavour_for`: a role that *design* executes as
+    *flavour*, or None when the design cannot express it.
+
+    Fence synthesis uses this to realize a concrete (site -> flavour)
+    placement as role-annotated :class:`~repro.core.isa.Fence` ops: S+
+    (and the §8 extensions) cannot express a wf, while W+ and Wee
+    cannot express an sf — their fences are weak on every thread and
+    only *dynamic* demotion (Wee confinement, W+ storm degradation) can
+    re-introduce sf behaviour.
+    """
+    for role in (FenceRole.STANDARD, FenceRole.CRITICAL):
+        if flavour_for(design, role) is flavour:
+            return role
+    return None
+
+
 @dataclass(frozen=True)
 class MachineParams:
     """Configuration of the simulated multicore (defaults = paper Table 2)."""

@@ -151,3 +151,88 @@ def render_table4(data: dict) -> str:
         "and ~a third of STAMP fences into sfs, almost none for CilkApps"
     )
     return f"{table}\n\n{paper}"
+
+
+# ---------------------------------------------------------------------------
+# repro synth — ranked placement table
+# ---------------------------------------------------------------------------
+
+def _fmt_cycles(value: Optional[float]) -> str:
+    return "?" if value is None else f"{value:.1f}"
+
+
+def _audit_cell(placement: dict) -> str:
+    audit = placement.get("audit")
+    if audit is None:
+        return "skipped"
+    verdict = "pass" if audit["passed"] else "FAIL"
+    minimal = "minimal" if audit["minimal"] else "NOT MINIMAL"
+    return f"{verdict}@{audit['points']}pts, {minimal}"
+
+
+def render_synth_table(data: dict) -> str:
+    """Text rendering of a ``repro synth`` report dict: the ranked
+    placement × design table plus the per-site marginal probe table."""
+    cfg = data["config"]
+    prog = data["program"]
+    lines = [
+        f"synth — minimal fence placements for {prog['name']!r} "
+        f"(seed {cfg['seed']}, {cfg['num_points']} adversary points, "
+        f"audit x{cfg['audit_factor']})",
+        f"sites ({prog['site_mode']}): "
+        + (", ".join(prog["sites"]) or "(none)"),
+        "",
+    ]
+
+    placement_rows = []
+    probe_rows = []
+    notes = []
+    for design, entry in data["designs"].items():
+        if entry["status"] != "ok":
+            failure = entry.get("failure") or {}
+            why = failure.get("reason", "")
+            notes.append(f"  {design}: {entry['status']}"
+                         + (f" ({why})" if why else ""))
+            continue
+        for p in entry["placements"]:
+            placement_rows.append((
+                design, str(p["rank"]), p["placement"],
+                str(p["num_wf"]), str(p["num_sf"]),
+                _fmt_cycles(p["cycles"]),
+                _fmt_cycles(p["overhead_cycles"]),
+                "yes" if p["sc_safe"] else "NO",
+                _audit_cell(p),
+            ))
+        for site, per_site in entry["site_probes"].items():
+            wf = per_site.get("wf")
+            sf = per_site.get("sf")
+            probe_rows.append((
+                design, site,
+                "-" if wf is None else f"+{wf:.1f}",
+                "-" if sf is None else f"+{sf:.1f}",
+            ))
+
+    if placement_rows:
+        lines.append(report.format_table(
+            ("Design", "Rank", "Placement", "wf", "sf", "Cycles",
+             "+Cycles", "SC-safe", "Audit"),
+            placement_rows,
+            title="ranked placements (cheapest first per design)",
+        ))
+    if probe_rows:
+        lines.append("")
+        lines.append(report.format_table(
+            ("Design", "Site", "wf", "sf"),
+            probe_rows,
+            title="per-site marginal fence cost (cycles over empty "
+                  "baseline; end-to-end cost above also includes "
+                  "interaction effects)",
+        ))
+    if notes:
+        lines.append("")
+        lines.append("designs without a synthesized placement:")
+        lines.extend(notes)
+    lines.append("")
+    lines.append(f"total simulator runs: {data['total_runs']}; "
+                 f"report ok: {'yes' if data['ok'] else 'NO'}")
+    return "\n".join(lines)

@@ -187,7 +187,7 @@ def shrink_failing_case(
                               sanitize=sanitize)
         return bool(_case_violations(sub_run, plan))
 
-    minimized, runs = ddmin(list(injector.log), still_fails,
+    minimized, runs = ddmin(list(injector.log), predicate=still_fails,
                             max_runs=max_runs)
     case.shrunk = [tuple(key) for key in minimized]
     case.shrink_runs = runs

@@ -63,6 +63,18 @@ class FencePolicy:
     #: (C-fence overrides with its centralized-table protocol)
     custom_strong_fence = None
 
+    # --- static synthesis metadata (repro.synth) ----------------------
+    #: fence flavours this design can express at a synthesis site (S+
+    #: and the §8 extensions are sf-only; W+/Wee are wf-only)
+    synth_flavours = (FenceFlavour.SF,)
+    #: max wfs per fence group, or None for unlimited (WS+: one wf per
+    #: group, paper §3.3.1)
+    synth_max_wf = None
+    #: a group with >= 2 wfs must also contain an sf — the termination
+    #: argument of SW+'s Conditional Order (§3.3.2); all-wf groups
+    #: need W+'s recovery hardware
+    synth_needs_sf_with_wf = False
+
     def __init__(self, core):
         self.core = core
 
@@ -126,9 +138,9 @@ class FencePolicy:
         return ()
 
 
-def make_policy(design: FenceDesign, core) -> FencePolicy:
-    """Instantiate the per-core policy for *design*."""
-    # imported here to keep the package import-order simple
+def _policy_classes():
+    """design -> policy class map (imported lazily to keep the package
+    import-order simple)."""
     from repro.fences.cfence import CFencePolicy
     from repro.fences.lmf import LocationFencePolicy
     from repro.fences.strong import StrongOnlyPolicy
@@ -137,7 +149,7 @@ def make_policy(design: FenceDesign, core) -> FencePolicy:
     from repro.fences.weefence import WeeFencePolicy
     from repro.fences.ws_plus import WSPlusPolicy
 
-    classes = {
+    return {
         FenceDesign.S_PLUS: StrongOnlyPolicy,
         FenceDesign.WS_PLUS: WSPlusPolicy,
         FenceDesign.SW_PLUS: SWPlusPolicy,
@@ -146,7 +158,57 @@ def make_policy(design: FenceDesign, core) -> FencePolicy:
         FenceDesign.LMF: LocationFencePolicy,
         FenceDesign.CFENCE: CFencePolicy,
     }
-    return classes[design](core)
+
+
+def policy_class(design: FenceDesign):
+    """The :class:`FencePolicy` subclass implementing *design*."""
+    return _policy_classes()[design]
+
+
+def make_policy(design: FenceDesign, core) -> FencePolicy:
+    """Instantiate the per-core policy for *design*."""
+    return policy_class(design)(core)
+
+
+@dataclass(frozen=True)
+class SynthProfile:
+    """What the fence synthesizer may place under one design.
+
+    Derived from the policy class's static synthesis metadata; the
+    legality predicate encodes Table 1's group taxonomy with the whole
+    placement treated as a single fence group (conservative for
+    litmus-scale programs, see docs/SYNTHESIS.md).
+    """
+
+    design: FenceDesign
+    flavours: tuple
+    max_wf: Optional[int]
+    needs_sf_with_wf: bool
+
+    def legal(self, num_wf: int, num_sf: int) -> bool:
+        """May a placement with these flavour counts run under the
+        design without violating its group taxonomy?"""
+        if num_wf and FenceFlavour.WF not in self.flavours:
+            return False
+        if num_sf and FenceFlavour.SF not in self.flavours:
+            return False
+        if self.max_wf is not None and num_wf > self.max_wf:
+            return False
+        if self.needs_sf_with_wf and num_wf >= 2 and num_sf == 0:
+            return False
+        return True
+
+
+def synthesis_profile(design: FenceDesign) -> SynthProfile:
+    """Synthesis metadata (expressible flavours, group legality) for
+    *design*."""
+    cls = policy_class(design)
+    return SynthProfile(
+        design=design,
+        flavours=tuple(cls.synth_flavours),
+        max_wf=cls.synth_max_wf,
+        needs_sf_with_wf=cls.synth_needs_sf_with_wf,
+    )
 
 
 #: Rows of the paper's Table 1 (taxonomy), for the Table-1 bench target.

@@ -13,13 +13,18 @@ asymmetric group contains at least one sf.
 
 from __future__ import annotations
 
-from repro.common.params import FenceDesign
+from repro.common.params import FenceDesign, FenceFlavour
 from repro.fences.base import FencePolicy, PendingFence
 
 
 class SWPlusPolicy(FencePolicy):
     design = FenceDesign.SW_PLUS
     fine_grain_bs = True
+    # synthesis: any asymmetric group — several wfs are fine as long
+    # as an sf breaks the would-be bounce cycle (the CO termination
+    # argument above); all-wf groups need W+'s recovery hardware
+    synth_flavours = (FenceFlavour.WF, FenceFlavour.SF)
+    synth_needs_sf_with_wf = True
 
     def on_wf_retire(self, pf: PendingFence) -> bool:
         core = self.core

@@ -34,6 +34,10 @@ class WPlusPolicy(FencePolicy):
     design = FenceDesign.W_PLUS
     needs_checkpoint = True
     needs_deadlock_monitor = True
+    # synthesis: every fence is a wf (recovery tolerates all-wf
+    # groups); sf behaviour only ever appears dynamically, via the
+    # recovery drain or the storm-demotion monitor
+    synth_flavours = (FenceFlavour.WF,)
 
     def __init__(self, core):
         super().__init__(core)

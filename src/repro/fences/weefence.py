@@ -28,12 +28,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.params import FenceDesign
+from repro.common.params import FenceDesign, FenceFlavour
 from repro.fences.base import FencePolicy, PendingFence
 
 
 class WeeFencePolicy(FencePolicy):
     design = FenceDesign.WEE
+    # synthesis: WeeFence is placed as a wf everywhere; the GRT
+    # confinement rule demotes individual dynamic instances to sf
+    synth_flavours = (FenceFlavour.WF,)
 
     def on_wf_retire(self, pf: PendingFence) -> bool:
         core = self.core

@@ -17,12 +17,16 @@ notes sfs belong to non-critical threads).
 
 from __future__ import annotations
 
-from repro.common.params import FenceDesign
+from repro.common.params import FenceDesign, FenceFlavour
 from repro.fences.base import FencePolicy, PendingFence
 
 
 class WSPlusPolicy(FencePolicy):
     design = FenceDesign.WS_PLUS
+    # synthesis: both flavours expressible, but at most one wf per
+    # fence group — more would make Order promotion close an SCV cycle
+    synth_flavours = (FenceFlavour.WF, FenceFlavour.SF)
+    synth_max_wf = 1
 
     def on_wf_retire(self, pf: PendingFence) -> bool:
         core = self.core

@@ -1,0 +1,33 @@
+"""Cost-aware asymmetric fence synthesis (``repro synth``).
+
+Given a litmus/workload program with its fences stripped (or carrying
+only user ``@order`` annotations), search the space of per-site
+{none, wf, sf} assignments for the minimal-cost placements that pass
+the SC oracle across the jitter-armed schedule explorer — for each of
+the paper's five designs — then rank survivors by replayed cycle cost.
+
+Layers: :mod:`~repro.synth.sites` (site extraction, placement
+lattice), :mod:`~repro.synth.programs` (canonical inputs),
+:mod:`~repro.synth.search` (CE-guided lattice search),
+:mod:`~repro.synth.cost` (timing replay),
+:mod:`~repro.synth.engine` (audit + ranking + report).
+"""
+
+from repro.synth.engine import SynthConfig, SynthReport, run_synthesis
+from repro.synth.programs import NAMED_PROGRAMS, program_for_spec
+from repro.synth.search import PlacementOracle, SearchOutcome, synthesize
+from repro.synth.sites import FenceSite, Placement, extract_sites
+
+__all__ = [
+    "SynthConfig",
+    "SynthReport",
+    "run_synthesis",
+    "NAMED_PROGRAMS",
+    "program_for_spec",
+    "PlacementOracle",
+    "SearchOutcome",
+    "synthesize",
+    "FenceSite",
+    "Placement",
+    "extract_sites",
+]

@@ -1,0 +1,117 @@
+"""Canonical synthesis inputs and the ``--program`` spec parser.
+
+The named programs are fixed (seed-independent) litmus kernels carrying
+their textbook fence annotations; the synthesizer strips them and
+searches the annotated sites.  Beyond the named set, ``shape:SEED``
+(e.g. ``random:7``) draws a program from the verify generator — the
+random-program battery and the Hypothesis property tests use this.
+
+``sb`` deliberately gives each thread one *cold private pad store*
+before the racy store: the pad stretches the write-buffer drain so the
+fence episode is long enough for wf machinery (BS bounces, Order
+promotion, W+ collisions) to matter, and — combined with the jitter-
+armed adversary points — makes the single-fence placements fail
+observably, so the synthesized minimum is the textbook one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.params import FenceRole
+from repro.core import isa as ops
+from repro.verify.generator import SHAPES, LitmusProgram, generate_program
+
+#: names accepted by ``repro synth --program`` (plus ``shape:SEED``)
+NAMED_PROGRAMS = ("sb", "sb3", "mp", "iriw")
+
+_STD = FenceRole.STANDARD
+
+
+def _sb_canonical() -> LitmusProgram:
+    """2-thread store buffering with cold private pads (Fig. 1d)."""
+    threads = (
+        (ops.Store(2, 7), ops.Store(0, 1), ops.Fence(_STD), ops.Load(1)),
+        (ops.Store(3, 9), ops.Store(1, 1), ops.Fence(_STD), ops.Load(0)),
+    )
+    return LitmusProgram(name="sb", shape="sb", num_vars=4,
+                         threads=threads, warm_vars=(0, 1), seed=0)
+
+
+def _sb3_canonical() -> LitmusProgram:
+    """3-thread store-buffering ring with cold private pads."""
+    threads = tuple(
+        (ops.Store(3 + i, 7), ops.Store(i, 1), ops.Fence(_STD),
+         ops.Load((i + 1) % 3))
+        for i in range(3)
+    )
+    return LitmusProgram(name="sb3", shape="sb", num_vars=6,
+                         threads=threads, warm_vars=(0, 1, 2), seed=0)
+
+
+def _mp_canonical() -> LitmusProgram:
+    """Message passing, annotated at the textbook fence positions.
+
+    TSO never reorders store→store or load→load, so the expected
+    synthesis result is the *empty* placement: the machine needs no
+    fences here, and the synthesizer proves it.
+    """
+    threads = (
+        (ops.Store(0, 42), ops.Fence(_STD), ops.Store(1, 1)),
+        (ops.Load(1), ops.Fence(_STD), ops.Load(0)),
+    )
+    return LitmusProgram(name="mp", shape="mp", num_vars=2,
+                         threads=threads, warm_vars=(0, 1), seed=0)
+
+
+def _iriw_canonical() -> LitmusProgram:
+    """Independent reads of independent writes, reader fences
+    annotated.
+
+    The forbidden IRIW outcome needs non-multi-copy-atomic stores,
+    which this machine (single memory image) never produces — expected
+    synthesis result: the empty placement.
+    """
+    threads = (
+        (ops.Store(0, 1),),
+        (ops.Store(1, 1),),
+        (ops.Load(0), ops.Fence(_STD), ops.Load(1)),
+        (ops.Load(1), ops.Fence(_STD), ops.Load(0)),
+    )
+    return LitmusProgram(name="iriw", shape="iriw", num_vars=2,
+                         threads=threads, warm_vars=(0, 1), seed=0)
+
+
+_BUILDERS = {
+    "sb": _sb_canonical,
+    "sb3": _sb3_canonical,
+    "mp": _mp_canonical,
+    "iriw": _iriw_canonical,
+}
+
+
+def program_for_spec(spec: str, seed: int = 1) -> LitmusProgram:
+    """Resolve a ``--program`` spec to an (annotated) litmus program.
+
+    Named canonical programs ignore *seed*; ``shape:SEED`` draws from
+    the verify generator (``shape:`` alone uses *seed*).
+    """
+    spec = spec.strip()
+    if spec in _BUILDERS:
+        return _BUILDERS[spec]()
+    if ":" in spec:
+        shape, _, tail = spec.partition(":")
+        shape = shape.strip()
+        if shape not in SHAPES:
+            raise ConfigError(
+                f"unknown program shape {shape!r}; choose from "
+                f"{', '.join(SHAPES)}"
+            )
+        gen_seed = int(tail) if tail.strip() else seed
+        return generate_program(gen_seed, shape=shape)
+    raise ConfigError(
+        f"unknown program {spec!r}; choose from "
+        f"{', '.join(NAMED_PROGRAMS)} or 'shape:SEED' with shape in "
+        f"{', '.join(SHAPES)}"
+    )

@@ -1,10 +1,18 @@
-"""Failure minimization: shrink a violating program to its kernel.
+"""Delta-debugging minimization: shrink a set while a property holds.
 
-Greedy one-op-at-a-time delta debugging (a ddmin variant): repeatedly
-try deleting each op (and then each whole thread) and keep every
-deletion under which the *property* — "this program still reproduces
-the violation" — holds.  The fixpoint is 1-minimal: removing any
-single remaining op loses the violation.
+Two entry points share the idea:
+
+* :func:`ddmin` — classic complement-removal ddmin over an arbitrary
+  item list under a caller-supplied predicate.  The predicate's
+  direction is the caller's business: the chaos harness shrinks
+  *failing* injection sets ("still breaks the machine"), the fence
+  synthesizer shrinks *passing* fence placements ("still satisfies the
+  SC oracle").
+* :func:`shrink_program` — greedy one-op-at-a-time shrinking of a
+  violating litmus program: repeatedly try deleting each op (and then
+  each whole thread) and keep every deletion under which "this program
+  still reproduces the violation" holds.  The fixpoint is 1-minimal:
+  removing any single remaining op loses the violation.
 
 Deterministic by construction: the property re-runs the simulator at
 the same schedule point, and the simulator is deterministic for a
@@ -20,19 +28,24 @@ from repro.verify.generator import LitmusProgram
 
 def ddmin(
     items: Sequence,
-    still_fails: Callable[[list], bool],
+    predicate: Callable[[list], bool],
     max_runs: int = 200,
 ) -> Tuple[list, int]:
     """Classic ddmin over an arbitrary item list.
 
-    Minimize *items* (order-preserving) such that
-    ``still_fails(subset)`` still holds, by complement removal with
-    progressively finer granularity.  Returns ``(minimized, runs)``.
-    The chaos harness uses this over a fault plan's fired-injection
-    keys to find the minimal set of injections that still breaks the
-    machine.
+    Minimize *items* (order-preserving) such that ``predicate(subset)``
+    still holds, by complement removal with progressively finer
+    granularity.  Returns ``(minimized, runs)``.
 
-    *still_fails* must hold for *items* itself (caller-verified).
+    The predicate is direction-agnostic — it is whatever property the
+    caller wants preserved while shrinking:
+
+    * the chaos harness shrinks a *failing* fault plan's fired-injection
+      keys with "this subset still breaks the machine";
+    * the fence synthesizer shrinks a *passing* fence placement with
+      "this subset still satisfies the SC oracle".
+
+    *predicate* must hold for *items* itself (caller-verified).
     """
     current = list(items)
     runs = 0
@@ -47,7 +60,7 @@ def ddmin(
             if not complement:
                 continue
             runs += 1
-            if still_fails(complement):
+            if predicate(complement):
                 current = complement
                 n = max(2, n - 1)
                 reduced = True
@@ -59,7 +72,7 @@ def ddmin(
     # final singleton check: can the whole set collapse to nothing?
     if len(current) == 1 and runs < max_runs:
         runs += 1
-        if still_fails([]):
+        if predicate([]):
             current = []
     return current, runs
 

@@ -1,0 +1,158 @@
+"""Fence-site extraction and the placement lattice."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import FenceDesign, FenceFlavour
+from repro.core import isa as ops
+from repro.fences.base import synthesis_profile
+from repro.synth.programs import program_for_spec
+from repro.synth.sites import (
+    FenceSite,
+    Placement,
+    all_placements,
+    count_legal_placements,
+    extract_sites,
+)
+
+WF, SF = FenceFlavour.WF, FenceFlavour.SF
+
+
+def test_annotated_sites_match_canonical_sb():
+    prog = program_for_spec("sb")
+    sites = extract_sites(prog, mode="annotated")
+    assert sites == (FenceSite(0, 2), FenceSite(1, 2))
+
+
+def test_auto_sites_find_store_load_boundaries():
+    prog = program_for_spec("sb")
+    # auto runs on the stripped program: same boundaries as annotated
+    assert extract_sites(prog, mode="auto") == \
+        extract_sites(prog, mode="annotated")
+
+
+def test_auto_sites_skip_covered_and_trailing_stores():
+    prog = program_for_spec("sb").stripped()
+    t0 = (ops.Load(0), ops.Store(1, 1), ops.Compute(3), ops.Load(0),
+          ops.Load(1), ops.Store(2, 1))
+    threads = (t0,) + prog.threads[1:]
+    sites = extract_sites(prog.with_threads([list(t) for t in threads]),
+                          mode="auto")
+    # one site before the first load after the store; the second load
+    # is already covered; the trailing store has no load after it
+    assert [s for s in sites if s.tid == 0] == [FenceSite(0, 3)]
+
+
+def test_annotated_requires_fences():
+    stripped = program_for_spec("sb").stripped()
+    with pytest.raises(ConfigError):
+        extract_sites(stripped, mode="annotated")
+
+
+def test_unknown_site_mode_rejected():
+    with pytest.raises(ConfigError):
+        extract_sites(program_for_spec("sb"), mode="everything")
+
+
+# ----------------------------------------------------------------------
+# the lattice
+# ----------------------------------------------------------------------
+
+S0, S1 = FenceSite(0, 2), FenceSite(1, 2)
+
+
+def test_covers_is_the_sitewise_strength_order():
+    both_sf = Placement.of({S0: SF, S1: SF})
+    mixed = Placement.of({S0: WF, S1: SF})
+    one = Placement.of({S1: SF})
+    assert both_sf.covers(mixed) and mixed.covers(one)
+    assert both_sf.covers(one)  # transitive
+    assert not one.covers(mixed)
+    assert Placement.empty().covers(Placement.empty())
+    assert mixed.covers(Placement.empty())
+
+
+def test_weakenings_drop_or_demote_one_step():
+    placement = Placement.of({S0: SF, S1: WF})
+    weaker = {w.key() for w in placement.weakenings()}
+    assert weaker == {
+        "t1.i2=wf",            # drop S0
+        "t0.i2=wf,t1.i2=wf",   # demote S0
+        "t0.i2=sf",            # drop S1 (wf has no demotion)
+    }
+    for w in placement.weakenings():
+        assert placement.covers(w) and not w.covers(placement)
+        assert w.score < placement.score
+
+
+def test_all_placements_is_a_linear_extension():
+    """Every weakening of a placement is enumerated before it."""
+    profile = synthesis_profile(FenceDesign.SW_PLUS)
+    seen = []
+    for placement in all_placements((S0, S1), profile):
+        for earlier in seen:
+            assert not earlier.covers(placement) or earlier == placement
+        seen.append(placement)
+    assert seen[0] == Placement.empty()
+
+
+@pytest.mark.parametrize("design", list(FenceDesign),
+                         ids=[d.name for d in FenceDesign])
+@pytest.mark.parametrize("num_sites", [0, 1, 2, 3, 4])
+def test_count_matches_enumeration(design, num_sites):
+    profile = synthesis_profile(design)
+    sites = tuple(FenceSite(0, i + 1) for i in range(num_sites))
+    enumerated = list(all_placements(sites, profile))
+    assert len(enumerated) == count_legal_placements(num_sites, profile)
+    assert all(p.legal(profile) for p in enumerated)
+
+
+def test_design_legality_profiles():
+    two_wf = Placement.of({S0: WF, S1: WF})
+    one_wf_one_sf = Placement.of({S0: WF, S1: SF})
+    two_sf = Placement.of({S0: SF, S1: SF})
+    # S+ has no wf at all
+    splus = synthesis_profile(FenceDesign.S_PLUS)
+    assert two_sf.legal(splus) and not one_wf_one_sf.legal(splus)
+    # WS+ caps at one wf per group
+    ws = synthesis_profile(FenceDesign.WS_PLUS)
+    assert one_wf_one_sf.legal(ws) and not two_wf.legal(ws)
+    # SW+ takes any asymmetric group but not all-wf groups
+    sw = synthesis_profile(FenceDesign.SW_PLUS)
+    assert one_wf_one_sf.legal(sw) and not two_wf.legal(sw)
+    assert Placement.of({S0: WF}).legal(sw)  # a lone wf is fine
+    # W+/Wee execute every fence as wf
+    for design in (FenceDesign.W_PLUS, FenceDesign.WEE):
+        profile = synthesis_profile(design)
+        assert two_wf.legal(profile)
+        assert not one_wf_one_sf.legal(profile)
+
+
+def test_apply_inserts_role_correct_fences():
+    stripped = program_for_spec("sb").stripped()
+    placed = Placement.of({S0: WF, S1: SF}).apply(
+        stripped, FenceDesign.WS_PLUS)
+    assert placed.has_fences
+    # WS+: CRITICAL executes as wf, STANDARD as sf
+    fence0 = placed.threads[0][2]
+    fence1 = placed.threads[1][2]
+    assert isinstance(fence0, ops.Fence) and isinstance(fence1, ops.Fence)
+    assert fence0.role.name == "CRITICAL"
+    assert fence1.role.name == "STANDARD"
+    # stripping the applied program round-trips
+    assert placed.stripped().threads == stripped.threads
+
+
+def test_apply_rejects_inexpressible_flavour():
+    stripped = program_for_spec("sb").stripped()
+    with pytest.raises(ConfigError):
+        Placement.of({S0: WF}).apply(stripped, FenceDesign.S_PLUS)
+    with pytest.raises(ConfigError):
+        Placement.of({S0: SF}).apply(stripped, FenceDesign.W_PLUS)
+
+
+def test_placement_key_is_stable_and_sorted():
+    a = Placement.of({S1: WF, S0: SF})
+    b = Placement.of({S0: SF, S1: WF})
+    assert a == b and a.key() == "t0.i2=sf,t1.i2=wf"
+    assert Placement.empty().key() == "-"

@@ -44,3 +44,43 @@ def test_point_builds_interleaving_exact_params():
 def test_point_can_disable_recovery():
     params = SchedulePoint().params(FenceDesign.W_PLUS, 2, recovery=False)
     assert not params.wplus_recovery_enabled
+
+
+# ----------------------------------------------------------------------
+# adversary points (fence synthesis)
+# ----------------------------------------------------------------------
+
+from repro.verify.perturb import DEFAULT_POINT, adversary_points  # noqa: E402
+
+
+def test_adversary_points_reproducible_and_prefix_stable():
+    assert adversary_points(5, 8) == adversary_points(5, 8)
+    assert adversary_points(5, 16)[:8] == adversary_points(5, 8)
+
+
+def test_adversary_points_lead_with_default_and_mix_jitter():
+    points = adversary_points(1, 12)
+    assert points[0] == DEFAULT_POINT
+    armed = [p for p in points if p.jittered]
+    plain = [p for p in points[1:] if not p.jittered]
+    assert armed and plain  # both kinds of adversary present
+
+
+def test_unarmed_point_has_no_injector():
+    assert not DEFAULT_POINT.jittered
+    assert DEFAULT_POINT.injector() is None
+
+
+def test_armed_point_builds_fresh_injectors():
+    armed = next(p for p in adversary_points(1, 12) if p.jittered)
+    first, second = armed.injector(), armed.injector()
+    # injectors are single-run objects: each call must build a new one
+    assert first is not None and first is not second
+    assert first.plan.noc_delay_rate == armed.noc_jitter_rate
+    assert first.plan.noc_delay_max_cycles == armed.noc_jitter_max_cycles
+
+
+def test_plain_verify_points_never_jittered():
+    from repro.verify.perturb import schedule_points
+
+    assert all(not p.jittered for p in schedule_points(3, 20))

@@ -82,3 +82,75 @@ def test_generated_stripped_sb_shrinks():
         return
     result = shrink_program(prog, still_fails)
     assert result.program.op_count <= 10
+
+
+# ----------------------------------------------------------------------
+# generic ddmin: one shrinker, both predicate directions
+# ----------------------------------------------------------------------
+#
+# The predicate signature is deliberately direction-agnostic.  The
+# chaos harness shrinks a *failing* set ("this subset still breaks the
+# machine"); the fence synthesizer shrinks a *passing* set ("this
+# subset still satisfies the SC oracle").  Both directions get a
+# regression test so neither caller ever needs a copied-and-flipped
+# shrinker again.
+
+from repro.verify.shrink import ddmin  # noqa: E402
+
+
+def test_ddmin_failing_direction_chaos_style():
+    """Chaos semantics: minimize injections while the crash persists
+    (here: the 'crash' needs injections 3 and 7 together)."""
+    def still_fails(subset):
+        return 3 in subset and 7 in subset
+
+    minimized, runs = ddmin(list(range(10)), predicate=still_fails)
+    assert minimized == [3, 7]
+    assert runs > 0
+
+
+def test_ddmin_passing_direction_synth_style():
+    """Synth semantics on the real simulator: shrink a passing fence
+    set down to the sites that actually guard the SB race."""
+    from repro.common.params import FenceDesign
+    from repro.synth.programs import program_for_spec
+    from repro.synth.search import PlacementOracle
+    from repro.synth.sites import FenceSite, Placement
+    from repro.common.params import FenceFlavour
+    from repro.verify.perturb import adversary_points
+
+    stripped = program_for_spec("sb").stripped()
+    racy = (FenceSite(0, 2), FenceSite(1, 2))
+    useless = (FenceSite(0, 3), FenceSite(1, 3))  # after the loads
+    oracle = PlacementOracle(
+        stripped, FenceDesign.S_PLUS, tuple(adversary_points(1, 6)))
+
+    def still_passes(subset):
+        placement = Placement.of(
+            {site: FenceFlavour.SF for site in subset})
+        return oracle.check(placement) is None
+
+    assert still_passes(list(racy + useless))
+    minimized, _runs = ddmin(list(racy + useless),
+                             predicate=still_passes)
+    assert sorted(minimized) == sorted(racy)
+
+
+def test_ddmin_collapses_to_empty_when_predicate_allows():
+    """The final singleton check: a set whose property needs no items
+    at all shrinks to []."""
+    minimized, _runs = ddmin([1, 2, 3], predicate=lambda s: True)
+    assert minimized == []
+
+
+def test_ddmin_budget_stops_early():
+    calls = []
+
+    def predicate(subset):
+        calls.append(1)
+        return 0 in subset
+
+    minimized, runs = ddmin(list(range(16)), predicate=predicate,
+                            max_runs=3)
+    assert runs <= 3 and len(calls) <= 3
+    assert 0 in minimized  # never returns a subset violating the predicate
