@@ -27,3 +27,29 @@ def test_tiny_profile_and_comparator(tmp_path, benchmark):
     assert comparison["ok"]
     assert comparison["median_speedup"] == 1.0
     assert not comparison["unmatched_keys"]
+
+
+def test_kernel_pinning_and_like_vs_like_keys(tmp_path):
+    """The --kernel pin rewrites every case onto one backend, records
+    it in the snapshot rows, and keys non-object kernels distinctly so
+    the comparator can only ever match like-vs-like."""
+    snap = harness.run_profile("tiny", reps=1, kernel="flat")
+    for case in snap["cases"]:
+        assert case["kernel"] == "flat"
+        assert case["key"].endswith(":kflat")
+        assert case["events_executed"] > 0
+
+    # an object-kernel snapshot shares no keys with a flat one: a flat
+    # speedup can never mask an object regression (or vice versa)
+    obj = harness.run_profile("tiny", reps=1)
+    assert all(c["kernel"] == "object" for c in obj["cases"])
+    comparison = harness.compare_snapshots(obj, snap)
+    assert not comparison["cases"]
+    assert set(comparison["unmatched_keys"]) == {
+        c["key"] for c in snap["cases"]
+    }
+
+    # like-vs-like: flat-vs-flat matches every case
+    again = harness.compare_snapshots(snap, snap)
+    assert not again["unmatched_keys"]
+    assert again["ok"]

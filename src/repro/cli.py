@@ -179,7 +179,8 @@ def cmd_run(args) -> int:
         run = run_workload(args.workload, design, num_cores=args.cores,
                            scale=args.scale, seed=args.seed,
                            check=args.check, obs=obs,
-                           sanitize=args.sanitize, budget=budget)
+                           sanitize=args.sanitize, budget=budget,
+                           kernel=args.kernel)
         violations += run.result.sanitizer_violations
         _print_run(run)
         if obs is not None and args.trace_out is not None:
@@ -442,7 +443,8 @@ def cmd_perf(args) -> int:
     print(f"perf profile {args.profile!r}, {args.reps} rep(s) per case:")
     try:
         snapshot = harness.run_profile(args.profile, reps=args.reps,
-                                       progress=progress)
+                                       progress=progress,
+                                       kernel=args.kernel)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -546,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="runtime protocol sanitizer mode (default: "
                             "$REPRO_SANITIZE or off); strict raises at "
                             "the first violation (exit code 5)")
+    p_run.add_argument("--kernel", default=None,
+                       choices=("object", "flat"),
+                       help="simulation kernel backend (default: "
+                            "$REPRO_KERNEL or object); both are "
+                            "bit-identical, flat is faster")
     p_run.add_argument("--max-wall-secs", type=float, default=None,
                        metavar="SECS",
                        help="wall-clock budget: cut off gracefully into "
@@ -725,6 +732,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument(
         "--report-only", action="store_true",
         help="report regressions but exit 0 (CI smoke mode)",
+    )
+    p_perf.add_argument(
+        "--kernel", default=None, choices=("object", "flat"),
+        help="pin every case to one kernel backend; flat-kernel rows "
+             "get a ':kflat' key suffix so comparison stays "
+             "like-vs-like (default: each case's pinned kernel)",
     )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")

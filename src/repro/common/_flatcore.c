@@ -1,0 +1,372 @@
+/* Compiled dispatch loop for the flat simulation kernel.
+ *
+ * Implements FlatEventQueue.run()'s hot loop in C, operating directly
+ * on the queue's own Python containers -- the list of packed int64
+ * keys (q._heap), the seq->handler and seq->label dicts (q._fn,
+ * q._lab) and the interned handler table (q._handlers).  Because the
+ * shared containers ARE the state, a Python callback that schedules,
+ * cancels or introspects mid-run (sanitizer sweeps, watchdog bundles)
+ * sees exactly what the pure-Python loop would show, and the two loops
+ * are interchangeable at any event boundary.
+ *
+ * Contract kept bit-identical with FlatEventQueue._run_py:
+ *   - q.now is published before each same-cycle batch dispatches;
+ *   - q.executed is published before every callback runs (pumps use it
+ *     to detect idle windows);
+ *   - q.stop_requested is re-read after every callback (wake-on-event);
+ *   - cancelled records (seq absent from q._fn) are dropped silently;
+ *   - an `until` clamp sets q.now = until without dispatching past it.
+ *
+ * The heap sift routines replicate CPython's heapq algorithm exactly
+ * (sift-to-leaf then bubble-up), so the heap's *array layout* -- not
+ * just its dispatch order -- matches a pure-Python run; introspection
+ * that walks the heap (pending_events) is therefore order-identical.
+ *
+ * Escape hatches: keys are compared as C int64, so the queue flags
+ * q._big (and bumps q._gen) when any key leaves the int64-safe range,
+ * and this loop hands the rest of the run to _run_py.  A q._gen bump
+ * also covers _resequence() rebinding the containers.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define SEQ_BITS 32
+
+static PyObject *s_heap, *s_fn, *s_lab, *s_handlers, *s_now, *s_executed,
+    *s_stop, *s_big, *s_gen, *s_run_py;
+
+/* All keys are guaranteed < 2^62 (q._big gates entry), so
+ * PyLong_AsLongLong cannot overflow here. */
+static inline long long
+key_val(PyObject *key)
+{
+    return PyLong_AsLongLong(key);
+}
+
+/* CPython heapq._siftdown: bubble heap[pos] up toward startpos. */
+static void
+siftdown_(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    long long newval = key_val(newitem);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        if (newval < key_val(parent)) {
+            Py_INCREF(parent);
+            PyList_SetItem(heap, pos, parent);
+            pos = parentpos;
+        }
+        else
+            break;
+    }
+    PyList_SetItem(heap, pos, newitem);
+}
+
+/* CPython heapq._siftup: move the root to a leaf chasing the smaller
+ * child, then bubble it back up.  Exactly mirrors the stdlib so the
+ * array layout stays identical to a pure-Python run. */
+static void
+siftup_(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos &&
+            !(key_val(PyList_GET_ITEM(heap, childpos)) <
+              key_val(PyList_GET_ITEM(heap, rightpos))))
+            childpos = rightpos;
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        PyList_SetItem(heap, pos, child);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    siftdown_(heap, startpos, pos);
+}
+
+/* heapq.heappop: returns a new reference, or NULL on internal error. */
+static PyObject *
+heappop_(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *lastelt = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    if (PyList_GET_SIZE(heap) == 0)
+        return lastelt;
+    PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(returnitem);
+    PyList_SetItem(heap, 0, lastelt); /* steals lastelt */
+    siftup_(heap, 0);
+    return returnitem;
+}
+
+/* Borrowed-per-call snapshot of the queue's containers. */
+typedef struct {
+    PyObject *heap, *fns, *labs, *handlers; /* owned refs */
+} state_t;
+
+static void
+state_clear(state_t *st)
+{
+    Py_CLEAR(st->heap);
+    Py_CLEAR(st->fns);
+    Py_CLEAR(st->labs);
+    Py_CLEAR(st->handlers);
+}
+
+static int
+state_fetch(PyObject *q, state_t *st)
+{
+    state_clear(st);
+    st->heap = PyObject_GetAttr(q, s_heap);
+    st->fns = PyObject_GetAttr(q, s_fn);
+    st->labs = PyObject_GetAttr(q, s_lab);
+    st->handlers = PyObject_GetAttr(q, s_handlers);
+    if (!st->heap || !st->fns || !st->labs || !st->handlers) {
+        state_clear(st);
+        return -1;
+    }
+    return 0;
+}
+
+static int
+set_ll_attr(PyObject *q, PyObject *name, long long v)
+{
+    PyObject *o = PyLong_FromLongLong(v);
+    if (o == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(q, name, o);
+    Py_DECREF(o);
+    return rc;
+}
+
+static long long
+get_ll_attr(PyObject *q, PyObject *name, int *err)
+{
+    PyObject *o = PyObject_GetAttr(q, name);
+    if (o == NULL) {
+        *err = 1;
+        return 0;
+    }
+    long long v = PyLong_AsLongLong(o);
+    Py_DECREF(o);
+    if (v == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return v;
+}
+
+static int
+get_bool_attr(PyObject *q, PyObject *name)
+{
+    PyObject *o = PyObject_GetAttr(q, name);
+    if (o == NULL)
+        return -1;
+    int v = PyObject_IsTrue(o);
+    Py_DECREF(o);
+    return v;
+}
+
+/* Delegate the remainder of the run to q._run_py(until, None). */
+static PyObject *
+delegate_py(PyObject *q, long long until)
+{
+    PyObject *until_obj = until < 0 ? Py_NewRef(Py_None)
+                                    : PyLong_FromLongLong(until);
+    if (until_obj == NULL)
+        return NULL;
+    PyObject *res = PyObject_CallMethodObjArgs(q, s_run_py, until_obj,
+                                               Py_None, NULL);
+    Py_DECREF(until_obj);
+    return res;
+}
+
+static PyObject *
+flatcore_run(PyObject *self, PyObject *args)
+{
+    PyObject *q;
+    long long until;
+    (void)self;
+    if (!PyArg_ParseTuple(args, "OL", &q, &until))
+        return NULL;
+
+    int err = 0;
+    long long gen = get_ll_attr(q, s_gen, &err);
+    long long executed = get_ll_attr(q, s_executed, &err);
+    long long now = get_ll_attr(q, s_now, &err);
+    if (err)
+        return NULL;
+
+    state_t st = {NULL, NULL, NULL, NULL};
+    if (state_fetch(q, &st) < 0)
+        return NULL;
+
+    for (;;) {
+        int stop = get_bool_attr(q, s_stop);
+        if (stop < 0)
+            goto fail;
+        if (stop)
+            break;
+        /* drop cancelled records surfacing at the top */
+        while (PyList_GET_SIZE(st.heap) > 0) {
+            PyObject *top = PyList_GET_ITEM(st.heap, 0);
+            long long seq = key_val(top) & ((1LL << SEQ_BITS) - 1);
+            PyObject *seqobj = PyLong_FromLongLong(seq);
+            if (seqobj == NULL)
+                goto fail;
+            int live = PyDict_Contains(st.fns, seqobj);
+            Py_DECREF(seqobj);
+            if (live < 0)
+                goto fail;
+            if (live)
+                break;
+            PyObject *dead = heappop_(st.heap);
+            if (dead == NULL)
+                goto fail;
+            Py_DECREF(dead);
+        }
+        if (PyList_GET_SIZE(st.heap) == 0)
+            break;
+        long long t = key_val(PyList_GET_ITEM(st.heap, 0)) >> SEQ_BITS;
+        if (until >= 0 && t > until) {
+            now = until;
+            if (set_ll_attr(q, s_now, now) < 0)
+                goto fail;
+            break;
+        }
+        now = t;
+        if (set_ll_attr(q, s_now, now) < 0)
+            goto fail;
+        /* batched same-cycle dispatch, exactly like _run_py */
+        while (PyList_GET_SIZE(st.heap) > 0 &&
+               key_val(PyList_GET_ITEM(st.heap, 0)) >> SEQ_BITS == t) {
+            PyObject *key = heappop_(st.heap);
+            if (key == NULL)
+                goto fail;
+            long long seq = key_val(key) & ((1LL << SEQ_BITS) - 1);
+            Py_DECREF(key);
+            PyObject *seqobj = PyLong_FromLongLong(seq);
+            if (seqobj == NULL)
+                goto fail;
+            PyObject *rec = PyDict_GetItemWithError(st.fns, seqobj);
+            if (rec == NULL) {
+                Py_DECREF(seqobj);
+                if (PyErr_Occurred())
+                    goto fail;
+                continue; /* cancelled mid-batch */
+            }
+            Py_INCREF(rec);
+            if (PyDict_DelItem(st.fns, seqobj) < 0) {
+                Py_DECREF(rec);
+                Py_DECREF(seqobj);
+                goto fail;
+            }
+            switch (PyDict_Contains(st.labs, seqobj)) {
+            case 1:
+                if (PyDict_DelItem(st.labs, seqobj) < 0) {
+                    Py_DECREF(rec);
+                    Py_DECREF(seqobj);
+                    goto fail;
+                }
+                break;
+            case 0:
+                break;
+            default:
+                Py_DECREF(rec);
+                Py_DECREF(seqobj);
+                goto fail;
+            }
+            Py_DECREF(seqobj);
+            executed += 1;
+            if (set_ll_attr(q, s_executed, executed) < 0) {
+                Py_DECREF(rec);
+                goto fail;
+            }
+            PyObject *fn = rec;
+            if (PyLong_CheckExact(rec)) {
+                Py_ssize_t hid = PyLong_AsSsize_t(rec);
+                fn = PyList_GET_ITEM(st.handlers, hid); /* borrowed */
+            }
+            PyObject *res = PyObject_CallNoArgs(fn);
+            Py_DECREF(rec);
+            if (res == NULL)
+                goto fail; /* q.now / q.executed already published */
+            Py_DECREF(res);
+            /* a callback may have resequenced the queue or scheduled a
+             * key outside int64 range -- both bump q._gen */
+            long long g = get_ll_attr(q, s_gen, &err);
+            if (err)
+                goto fail;
+            if (g != gen) {
+                gen = g;
+                int big = get_bool_attr(q, s_big);
+                if (big < 0)
+                    goto fail;
+                if (big) {
+                    state_clear(&st);
+                    return delegate_py(q, until);
+                }
+                if (state_fetch(q, &st) < 0)
+                    goto fail;
+            }
+            stop = get_bool_attr(q, s_stop);
+            if (stop < 0)
+                goto fail;
+            if (stop) {
+                state_clear(&st);
+                return PyLong_FromLongLong(now);
+            }
+        }
+    }
+    state_clear(&st);
+    return PyLong_FromLongLong(now);
+
+fail:
+    state_clear(&st);
+    return NULL;
+}
+
+static PyMethodDef flatcore_methods[] = {
+    {"run", flatcore_run, METH_VARARGS,
+     "run(queue, until) -> now\n"
+     "Drive a FlatEventQueue's dispatch loop; until=-1 means no limit."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef flatcore_module = {
+    PyModuleDef_HEAD_INIT, "_flatcore",
+    "Compiled dispatch core for repro.common.flatevents.", -1,
+    flatcore_methods, NULL, NULL, NULL, NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__flatcore(void)
+{
+    s_heap = PyUnicode_InternFromString("_heap");
+    s_fn = PyUnicode_InternFromString("_fn");
+    s_lab = PyUnicode_InternFromString("_lab");
+    s_handlers = PyUnicode_InternFromString("_handlers");
+    s_now = PyUnicode_InternFromString("now");
+    s_executed = PyUnicode_InternFromString("executed");
+    s_stop = PyUnicode_InternFromString("stop_requested");
+    s_big = PyUnicode_InternFromString("_big");
+    s_gen = PyUnicode_InternFromString("_gen");
+    s_run_py = PyUnicode_InternFromString("_run_py");
+    if (!s_heap || !s_fn || !s_lab || !s_handlers || !s_now || !s_executed ||
+        !s_stop || !s_big || !s_gen || !s_run_py)
+        return NULL;
+    return PyModule_Create(&flatcore_module);
+}

@@ -19,6 +19,14 @@ benchmarked ~10% *slower*: with typical heap depths of 10–20 events,
 C-implemented ``heappush``/``heappop`` beat the Python-level slot-scan
 and FIFO bookkeeping a wheel needs.  Revisit only if event counts per
 cycle grow by an order of magnitude.)
+
+This object kernel is one of two interchangeable backends: the flat
+table-driven kernel in :mod:`repro.common.flatevents` implements the
+same queue protocol over packed-integer records.  Components must stick
+to the shared protocol — ``schedule`` returns an *opaque* handle that
+is only ever passed back to ``queue.cancel`` / ``queue.mark_elastic``,
+and introspection goes through ``pending_events()`` / ``peek_time()``
+rather than ``_heap`` — so a machine runs identically on either.
 """
 
 from __future__ import annotations
@@ -84,6 +92,10 @@ class EventQueue:
         #: old per-event ``stop_when`` polling; checked between events.
         self.stop_requested = False
         self._free: List[Event] = []
+        #: seqs of events marked quiescence-elastic (periodic pump
+        #: ticks); only consulted by ``idle_horizon`` — never on the
+        #: dispatch hot path.
+        self._elastic: set = set()
 
     def schedule(self, delay: int, fn: Callable[[], None], label: str = "") -> Event:
         """Schedule *fn* to run ``delay`` cycles from now.
@@ -110,6 +122,68 @@ class EventQueue:
     def schedule_at(self, time: int, fn: Callable[[], None], label: str = "") -> Event:
         """Schedule *fn* at absolute cycle *time* (>= now)."""
         return self.schedule(time - self.now, fn, label)
+
+    def unsafe_schedule_at(self, time: int, fn: Callable[[], None],
+                           label: str = "") -> Event:
+        """Schedule at an absolute time with no past-time check.
+
+        Test/diagnostic hook (e.g. planting a behind-the-clock ghost
+        event for the sanitizer's monotonicity check); never used by
+        the simulator itself.
+        """
+        self._seq = seq = self._seq + 1
+        ev = Event((time, seq, fn, label))
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, handle: Optional[Event]) -> None:
+        """Backend-portable cancel: accepts the opaque handle returned
+        by ``schedule`` (None is tolerated and ignored)."""
+        if handle is not None:
+            handle[2] = None
+
+    def pending_events(self):
+        """Live ``(time, label)`` pairs, in no particular order.
+
+        The backend-portable introspection surface for diagnostics
+        (watchdog bundles) and structural checks (sanitizer horizon);
+        replaces direct ``_heap`` walks.
+        """
+        return [(ev[0], ev[3]) for ev in self._heap if ev[2] is not None]
+
+    # ------------------------------------------------------------------
+    # quiescence fast-forward support
+    # ------------------------------------------------------------------
+
+    def mark_elastic(self, handle: Optional[Event]) -> None:
+        """Flag a scheduled event as a quiescence-elastic pump tick.
+
+        Elastic events are the periodic housekeeping ticks (watchdog,
+        sanitizer pump, governor); ``idle_horizon`` skips them when
+        computing how far the clock could jump across an idle window.
+        """
+        if handle is None:
+            return
+        elastic = self._elastic
+        elastic.add(handle[1])
+        if len(elastic) > 64:
+            live = {ev[1] for ev in self._heap if ev[2] is not None}
+            elastic &= live
+
+    def idle_horizon(self) -> Optional[int]:
+        """Earliest live non-elastic event time, or None if none pend.
+
+        During a provably-idle window (no non-pump event dispatched),
+        nothing can happen before this cycle: an elastic pump may defer
+        its next tick up to here without skipping any observable work.
+        O(heap) scan — called only by idle pumps, never per event.
+        """
+        elastic = self._elastic
+        return min(
+            (ev[0] for ev in self._heap
+             if ev[2] is not None and ev[1] not in elastic),
+            default=None,
+        )
 
     def request_stop(self) -> None:
         """Ask ``run()`` to return before dispatching the next event.
@@ -194,6 +268,10 @@ class EventQueue:
                             free.append(entry)
                         continue
                     executed += 1
+                    # publish before dispatch: pump callbacks read
+                    # ``executed`` to detect idle windows, so the
+                    # counter must be current inside handlers too.
+                    self.executed = executed
                     fn()
                     # recycle iff the scheduler dropped its handle —
                     # a held handle could still be cancel()ed later.

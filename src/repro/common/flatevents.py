@@ -1,0 +1,356 @@
+"""Flat table-driven simulation kernel.
+
+The second of the two interchangeable event-queue backends (see
+:mod:`repro.common.events` for the object kernel and the shared queue
+protocol).  Where the object kernel stores one ``Event`` list per
+scheduled callback, the flat kernel stores *scalars*:
+
+* The heap holds packed integers ``(time << 32) | seq`` — ``heapq``
+  orders them with single C-level int comparisons (no per-element list
+  walk) and pushing one allocates no container.
+* The record table is a dict ``seq -> handler`` where ``handler`` is
+  either an integer id into the handler table (for callbacks interned
+  via :meth:`FlatEventQueue.register_handler` — the cores' pre-bound
+  continuation methods) or the raw callable (one-shot closures).
+  Dispatch is table-driven: pop the key, mask out the seq, look up the
+  record, index the handler table.
+* ``cancel`` is a dict deletion; a cancelled key surfaces from the heap
+  and is discarded when its seq is no longer in the record table.
+  Seqs are never reused, so a stale handle can never cancel a later
+  event — the flat kernel's equivalent of the object kernel's
+  refcount-guarded free-list recycling.
+
+Dispatch order is bit-identical to the object kernel by construction:
+both order by (time, global schedule seq) and share the run-loop
+semantics (batched same-cycle dispatch, lazy cancellation, ``until``
+clamping, wake-on-event stop flag checked between events).
+
+When the optional compiled core (``repro.common._flatcore``, a small
+C extension built via ``python setup.py build_ext --inplace``) is
+importable, ``run()`` delegates the dispatch loop to it; the C loop
+operates on the *same* heap list and record dicts, so mid-run
+introspection (sanitizer horizon checks, watchdog bundles) sees
+exactly the state the pure-Python loop would show.  Set
+``REPRO_FLAT_NO_C=1`` to pin the pure-Python loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulatorError
+
+try:  # optional compiled dispatch core — pure-Python fallback below
+    from repro.common import _flatcore  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - depends on build environment
+    _flatcore = None
+
+#: seq bits in a packed key.  32 bits of seq leaves |time| < 2^30 *full
+#: years* of cycles before a key stops fitting the comparisons' fast
+#: path; seqs wrapping past 2^32 trigger an explicit renumbering pass
+#: (see ``_resequence``) so same-cycle FIFO order can never be harmed.
+_SEQ_BITS = 32
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+#: keys at or beyond this no longer fit a C int64; the compiled loop is
+#: bypassed for the rest of the run (pure-Python handles big ints).
+_C_KEY_LIMIT = 1 << 62
+
+
+class FlatEventQueue:
+    """Priority queue of packed-scalar events with a global clock.
+
+    Drop-in replacement for :class:`repro.common.events.EventQueue`:
+    same ``schedule`` / ``run`` / ``cancel`` / introspection protocol,
+    identical dispatch order.  Handles returned by ``schedule`` are
+    opaque integers — pass them to ``queue.cancel``, never call methods
+    on them.
+    """
+
+    def __init__(self):
+        self._heap: List[int] = []
+        self._seq = 0
+        self.now = 0
+        #: number of events executed (exposed for test/benchmark stats).
+        self.executed = 0
+        #: cooperative stop flag — checked between events like the
+        #: object kernel's.
+        self.stop_requested = False
+        #: flat record tables: seq -> handler-id-or-callable, seq -> label
+        self._fn: dict = {}
+        self._lab: dict = {}
+        #: interned handler table (table-driven dispatch)
+        self._handlers: List[Callable[[], None]] = []
+        self._hid: dict = {}
+        #: seqs of quiescence-elastic pump ticks (idle_horizon only)
+        self._elastic: set = set()
+        #: a key outgrew the compiled core's int64 range this run
+        self._big = False
+        #: generation counter: bumped whenever the compiled loop's view
+        #: of the queue goes stale (``_resequence`` rebinding the
+        #: containers, or ``_big`` flipping).  The C core re-reads only
+        #: this one attribute per event and refetches state on change.
+        self._gen = 0
+        self._use_c = (
+            _flatcore is not None
+            and os.environ.get("REPRO_FLAT_NO_C", "") != "1"
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def register_handler(self, fn: Callable[[], None]) -> int:
+        """Intern *fn* into the handler table; returns its integer id.
+
+        Registered callables are stored in scheduled records as plain
+        ints and dispatched by table index.  Register long-lived hot
+        callbacks (the cores' pre-bound continuations); one-shot
+        closures are cheaper left unregistered.
+        """
+        hid = self._hid.get(fn)
+        if hid is None:
+            hid = len(self._handlers)
+            self._handlers.append(fn)
+            self._hid[fn] = hid
+        return hid
+
+    def schedule(self, delay: int, fn: Callable[[], None], label: str = "") -> int:
+        """Schedule *fn* ``delay`` cycles from now; returns the handle.
+
+        *delay* must be a non-negative integer (callers quantize
+        fractional latencies before scheduling, as with the object
+        kernel).
+        """
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule in the past (delay={delay})")
+        self._seq = seq = self._seq + 1
+        if seq > _SEQ_MASK:
+            seq = self._resequence()
+        key = ((self.now + delay) << _SEQ_BITS) | seq
+        if key >= _C_KEY_LIMIT:
+            self._big = True
+            self._gen += 1
+        self._fn[seq] = self._hid.get(fn, fn)
+        if label:
+            self._lab[seq] = label
+        heapq.heappush(self._heap, key)
+        return key
+
+    def schedule_at(self, time: int, fn: Callable[[], None], label: str = "") -> int:
+        """Schedule *fn* at absolute cycle *time* (>= now)."""
+        return self.schedule(time - self.now, fn, label)
+
+    def unsafe_schedule_at(self, time: int, fn: Callable[[], None],
+                           label: str = "") -> int:
+        """Schedule at an absolute time with no past-time check (test/
+        diagnostic hook, mirroring the object kernel's)."""
+        self._seq = seq = self._seq + 1
+        key = (time << _SEQ_BITS) | seq
+        if not (0 <= key < _C_KEY_LIMIT):
+            self._big = True
+            self._gen += 1
+        self._fn[seq] = self._hid.get(fn, fn)
+        if label:
+            self._lab[seq] = label
+        heapq.heappush(self._heap, key)
+        return key
+
+    def _resequence(self) -> int:
+        """Renumber live records compactly after seq exhaustion.
+
+        Reached once per 2^32 schedules; rebuilds the heap preserving
+        (time, seq) order, so same-cycle FIFO semantics survive the
+        renumbering exactly.
+        """
+        live = sorted(k for k in self._heap if (k & _SEQ_MASK) in self._fn)
+        fn, lab = self._fn, self._lab
+        new_fn: dict = {}
+        new_lab: dict = {}
+        heap: List[int] = []
+        elastic = self._elastic
+        new_elastic = set()
+        for new_seq, key in enumerate(live, start=1):
+            old_seq = key & _SEQ_MASK
+            new_fn[new_seq] = fn[old_seq]
+            if old_seq in lab:
+                new_lab[new_seq] = lab[old_seq]
+            if old_seq in elastic:
+                new_elastic.add(new_seq)
+            heap.append((key >> _SEQ_BITS << _SEQ_BITS) | new_seq)
+        self._fn, self._lab, self._heap = new_fn, new_lab, heap
+        self._elastic = new_elastic
+        self._seq = len(live) + 1
+        self._gen += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # cancellation and stop control
+    # ------------------------------------------------------------------
+
+    def cancel(self, handle: Optional[int]) -> None:
+        """Cancel a scheduled event by handle (None tolerated).
+
+        O(1) lazy deletion: the record is dropped and the packed key is
+        discarded when it surfaces from the heap.  Handles of events
+        that already fired are harmless no-ops — seqs are never reused.
+        """
+        if handle is None:
+            return
+        seq = handle & _SEQ_MASK
+        if self._fn.pop(seq, None) is not None:
+            self._lab.pop(seq, None)
+
+    def request_stop(self) -> None:
+        """Ask ``run()`` to return before dispatching the next event."""
+        self.stop_requested = True
+
+    def clear_stop(self) -> None:
+        self.stop_requested = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def empty(self) -> bool:
+        self._drop_cancelled()
+        return not self._heap
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        fn = self._fn
+        while heap and (heap[0] & _SEQ_MASK) not in fn:
+            heapq.heappop(heap)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return (self._heap[0] >> _SEQ_BITS) if self._heap else None
+
+    def pending_events(self):
+        """Live ``(time, label)`` pairs, in no particular order."""
+        fn, lab = self._fn, self._lab
+        return [
+            (key >> _SEQ_BITS, lab.get(key & _SEQ_MASK, ""))
+            for key in self._heap
+            if (key & _SEQ_MASK) in fn
+        ]
+
+    def __len__(self) -> int:
+        return len(self._fn)
+
+    # ------------------------------------------------------------------
+    # quiescence fast-forward support
+    # ------------------------------------------------------------------
+
+    def mark_elastic(self, handle: Optional[int]) -> None:
+        """Flag a scheduled event as a quiescence-elastic pump tick."""
+        if handle is None:
+            return
+        elastic = self._elastic
+        elastic.add(handle & _SEQ_MASK)
+        if len(elastic) > 64:
+            # in-place: `elastic &= keys()` would rebind the local to a
+            # fresh set (dict_keys.__rand__) and never shrink the field
+            elastic.intersection_update(self._fn)
+
+    def idle_horizon(self) -> Optional[int]:
+        """Earliest live non-elastic event time, or None if none pend."""
+        fn = self._fn
+        elastic = self._elastic
+        return min(
+            (key >> _SEQ_BITS for key in self._heap
+             if (key & _SEQ_MASK) in fn and (key & _SEQ_MASK) not in elastic),
+            default=None,
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        key = heapq.heappop(self._heap)
+        t = key >> _SEQ_BITS
+        if t < self.now:  # pragma: no cover - defensive
+            raise SimulatorError("event queue time went backwards")
+        seq = key & _SEQ_MASK
+        rec = self._fn.pop(seq)
+        self._lab.pop(seq, None)
+        self.now = t
+        self.executed += 1
+        if type(rec) is int:
+            self._handlers[rec]()
+        else:
+            rec()
+        return True
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until the queue drains, *until* cycles pass, the
+        stop flag is raised, or *stop_when* returns True.  Returns the
+        final clock value.  Semantics match the object kernel exactly.
+        """
+        if (self._use_c and stop_when is None and not self._big
+                and not self.stop_requested):
+            return _flatcore.run(self, -1 if until is None else until)
+        return self._run_py(until, stop_when)
+
+    def _run_py(
+        self,
+        until: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        heap = self._heap
+        pop = heapq.heappop
+        fns = self._fn
+        fns_pop = fns.pop
+        labs_pop = self._lab.pop
+        handlers = self._handlers
+        executed = self.executed
+        try:
+            while True:
+                if stop_when is not None and stop_when():
+                    break
+                if self.stop_requested:
+                    break
+                while heap and (heap[0] & _SEQ_MASK) not in fns:
+                    pop(heap)
+                if not heap:
+                    break
+                t = heap[0] >> _SEQ_BITS
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                self.now = t
+                # batched same-cycle dispatch: zero-delay events
+                # scheduled by a callback join this batch in seq order.
+                while heap and heap[0] >> _SEQ_BITS == t:
+                    seq = pop(heap) & _SEQ_MASK
+                    rec = fns_pop(seq, None)
+                    if rec is None:
+                        continue
+                    labs_pop(seq, None)
+                    executed += 1
+                    # publish before dispatch: pump callbacks read
+                    # ``executed`` to detect idle windows, so the
+                    # counter must be current inside handlers too.
+                    self.executed = executed
+                    if type(rec) is int:
+                        handlers[rec]()
+                    else:
+                        rec()
+                    if self.stop_requested or (
+                        stop_when is not None and stop_when()
+                    ):
+                        return self.now
+        finally:
+            self.executed = executed
+        return self.now

@@ -77,6 +77,29 @@ class L1Controller:
         self.faults = None
         #: protocol-sanitizer hook (set by Machine.attach_sanitizer)
         self.sanitizer = None
+        # single-slot continuation state for the L1 hit fast paths.
+        # The core is in-order: at most one outstanding load, one head
+        # store (the drain engine is serialized by ``_drain_busy``) and
+        # one RMW per core, and the three use disjoint slots — so the
+        # hit-path completions can be pre-bound methods over instance
+        # slots instead of a fresh closure per event (flat records).
+        self._read_done: Optional[Callable[[bool], None]] = None
+        self._st_entry = None
+        self._st_done: Optional[Callable[[], None]] = None
+        self._st_bounce: Optional[Callable[[], None]] = None
+        self._rmw_word = 0
+        self._rmw_po = 0
+        self._rmw_apply: Optional[Callable[[int], int]] = None
+        self._rmw_done: Optional[Callable[[int], None]] = None
+        self._rmw_bounce: Optional[Callable[[], None]] = None
+        self._cb_read_hit = self._read_hit_complete
+        self._cb_write_hit = self._write_hit_complete
+        self._cb_rmw_hit = self._rmw_hit_complete
+        register = getattr(queue, "register_handler", None)
+        if register is not None:
+            for cb in (self._cb_read_hit, self._cb_write_hit,
+                       self._cb_rmw_hit):
+                register(cb)
 
     def _note_po(self, po: int) -> None:
         if self.recorder is not None:
@@ -96,8 +119,9 @@ class L1Controller:
         state = self.cache.lookup(line)
         if state is not None:
             self.stats.l1_hits += 1
+            self._read_done = on_done
             self.queue.schedule(
-                self._hit_cycles, lambda: on_done(True), "l1.read_hit"
+                self._hit_cycles, self._cb_read_hit, "l1.read_hit"
             )
             return
         self.stats.l1_misses += 1
@@ -113,6 +137,11 @@ class L1Controller:
 
         txn.on_done = done
         self._send_request(txn)
+
+    def _read_hit_complete(self) -> None:
+        cb = self._read_done
+        self._read_done = None
+        cb(True)
 
     # ------------------------------------------------------------------
     # CPU-facing: stores (write-buffer drain engine calls this)
@@ -130,18 +159,13 @@ class L1Controller:
         if state is not None and state.writable:
             # local write hit: complete after the L1 access, re-checking
             # that ownership was not lost in flight.
-            def complete():
-                cur = self.cache.lookup(line)
-                if cur is not None and cur.writable:
-                    self.cache.set_state(line, LineState.M)
-                    self._note_po(entry.po)
-                    self.image.write(entry.word, entry.value, self.core_id)
-                    on_done()
-                else:
-                    self.issue_store(entry, on_done, on_bounce)
-
             self.stats.l1_hits += 1
-            self.queue.schedule(self._hit_cycles, complete, "l1.write_hit")
+            self._st_entry = entry
+            self._st_done = on_done
+            self._st_bounce = on_bounce
+            self.queue.schedule(
+                self._hit_cycles, self._cb_write_hit, "l1.write_hit"
+            )
             return
 
         self.stats.l1_misses += 1
@@ -186,6 +210,20 @@ class L1Controller:
         txn.on_done = done
         self._send_request(txn)
 
+    def _write_hit_complete(self) -> None:
+        entry, on_done, on_bounce = self._st_entry, self._st_done, self._st_bounce
+        self._st_entry = self._st_done = self._st_bounce = None
+        line = entry.line
+        cur = self.cache.lookup(line)
+        if cur is not None and cur.writable:
+            self.cache.set_state(line, LineState.M)
+            self._note_po(entry.po)
+            self.image.write(entry.word, entry.value, self.core_id)
+            on_done()
+        else:
+            # ownership was lost in flight: take the miss path
+            self.issue_store(entry, on_done, on_bounce)
+
     # ------------------------------------------------------------------
     # CPU-facing: atomic read-modify-write
     # ------------------------------------------------------------------
@@ -202,18 +240,15 @@ class L1Controller:
         line = self.amap.line_of(word)
         state = self.cache.lookup(line)
         if state is not None and state.writable:
-            def complete():
-                cur = self.cache.lookup(line)
-                if cur is not None and cur.writable:
-                    self.cache.set_state(line, LineState.M)
-                    self._note_po(po)
-                    old, _new = self.image.rmw(word, apply_fn, self.core_id)
-                    on_done(old)
-                else:
-                    self.issue_rmw(word, apply_fn, on_done, on_bounce, po)
-
             self.stats.l1_hits += 1
-            self.queue.schedule(self.params.l1_hit_cycles, complete, "l1.rmw_hit")
+            self._rmw_word = word
+            self._rmw_po = po
+            self._rmw_apply = apply_fn
+            self._rmw_done = on_done
+            self._rmw_bounce = on_bounce
+            self.queue.schedule(
+                self.params.l1_hit_cycles, self._cb_rmw_hit, "l1.rmw_hit"
+            )
             return
 
         self.stats.l1_misses += 1
@@ -237,6 +272,21 @@ class L1Controller:
 
         txn.on_done = done
         self._send_request(txn)
+
+    def _rmw_hit_complete(self) -> None:
+        word, po = self._rmw_word, self._rmw_po
+        apply_fn, on_done, on_bounce = (
+            self._rmw_apply, self._rmw_done, self._rmw_bounce
+        )
+        self._rmw_apply = self._rmw_done = self._rmw_bounce = None
+        cur = self.cache.lookup(self.amap.line_of(word))
+        if cur is not None and cur.writable:
+            self.cache.set_state(self.amap.line_of(word), LineState.M)
+            self._note_po(po)
+            old, _new = self.image.rmw(word, apply_fn, self.core_id)
+            on_done(old)
+        else:
+            self.issue_rmw(word, apply_fn, on_done, on_bounce, po)
 
     # ------------------------------------------------------------------
     # network-facing: coherence requests arriving at this core

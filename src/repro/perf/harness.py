@@ -25,6 +25,7 @@ Design points:
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
 import os
@@ -55,14 +56,26 @@ class PerfCase:
     cores: int = 8
     scale: float = 0.5
     seed: int = 12345
+    #: simulation kernel backend the case runs on ("object" | "flat")
+    kernel: str = "object"
 
     @property
     def key(self) -> str:
-        """Stable identity used to match cases across snapshots."""
-        return (
+        """Stable identity used to match cases across snapshots.
+
+        Object-kernel keys keep the historical (kernel-free) format so
+        they match baselines recorded before backends existed; other
+        kernels get a ``:k<kernel>`` suffix, which keeps comparison
+        strictly like-vs-like — a flat-kernel speedup can never mask an
+        object-kernel regression, and vice versa.
+        """
+        base = (
             f"{self.workload}:{self.design.value}:c{self.cores}"
             f":s{self.scale:g}:r{self.seed}"
         )
+        if self.kernel != "object":
+            base += f":k{self.kernel}"
+        return base
 
 
 #: The paper's headline bench configuration (Figs. 8/9: 8 cores,
@@ -124,7 +137,7 @@ def _time_case(case: PerfCase, reps: int) -> Dict[str, object]:
     for _ in range(reps):
         workload = cls(scale=case.scale)
         params = MachineParams().with_cores(case.cores).with_design(case.design)
-        machine = Machine(params, seed=case.seed)
+        machine = Machine(params, seed=case.seed, kernel=case.kernel)
         workload.setup(machine)
         gc_was_enabled = gc.isenabled()
         gc.collect()
@@ -146,6 +159,7 @@ def _time_case(case: PerfCase, reps: int) -> Dict[str, object]:
         "cores": case.cores,
         "scale": case.scale,
         "seed": case.seed,
+        "kernel": case.kernel,
         "reps": reps,
         "wall_s": [round(w, 6) for w in wall],
         "median_s": round(median, 6),
@@ -159,8 +173,14 @@ def run_profile(
     profile: str = "fig89",
     reps: int = 3,
     progress=None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Time every case of *profile*; returns the snapshot dict."""
+    """Time every case of *profile*; returns the snapshot dict.
+
+    *kernel* pins every case to one backend ("object" | "flat"); None
+    keeps each case's own pinned kernel (the profiles default to
+    "object", the baseline-compatible backend).
+    """
     if profile not in PROFILES:
         raise ValueError(
             f"unknown perf profile {profile!r}; choose from "
@@ -169,6 +189,8 @@ def run_profile(
     load_all_workloads()
     cases = []
     for case in PROFILES[profile]:
+        if kernel is not None and kernel != case.kernel:
+            case = dataclasses.replace(case, kernel=kernel)
         entry = _time_case(case, reps)
         cases.append(entry)
         if progress is not None:

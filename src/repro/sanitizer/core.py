@@ -96,6 +96,8 @@ class Sanitizer:
         self.first_diagnostics_path: Optional[str] = None
         self._event = None
         self._stopped = False
+        #: real-dispatch watermark at our previous tick (idle detection)
+        self._last_work = None
 
     def bind(self, machine) -> "Sanitizer":
         self.machine = machine
@@ -108,25 +110,54 @@ class Sanitizer:
 
     def start(self) -> None:
         self._stopped = False
+        self._last_work = None
         if not self.degraded:
-            self._event = self.machine.queue.schedule(
-                self.interval, self._tick, "sanitizer"
-            )
+            queue = self.machine.queue
+            self._event = queue.schedule(self.interval, self._tick,
+                                         "sanitizer")
+            queue.mark_elastic(self._event)
 
     def stop(self) -> None:
         self._stopped = True
         if self._event is not None:
-            self._event.cancel()
+            self.machine.queue.cancel(self._event)
             self._event = None
 
     def _tick(self) -> None:
         self._event = None
+        machine = self.machine
+        machine.pump_ticks += 1
         if self._stopped or self.degraded:
             return
+        reported_before = len(self.violations) + self.dropped
         self.check_all()
-        self._event = self.machine.queue.schedule(
-            self.interval, self._tick, "sanitizer"
-        )
+        if self.degraded:
+            return  # a degrade-mode violation stood the pump down
+        # quiescence fast-forward: when no non-pump event was dispatched
+        # since our previous tick, machine state is frozen until the
+        # next real event — a sweep per interval in between would
+        # re-observe exactly what this sweep just saw (horizon
+        # violations only *expire* as now advances).  Defer the next
+        # tick across the idle window, in whole multiples of the
+        # interval so the tick grid (and therefore every detection
+        # cycle) matches a non-fast-forwarded run exactly.  A sweep
+        # that reported anything keeps full cadence: warn mode
+        # re-reports persistent violations per sweep, and those counts
+        # must not depend on fast-forwarding.
+        queue = machine.queue
+        delay = self.interval
+        if machine.fast_forward:
+            work = queue.executed - machine.pump_ticks
+            clean = len(self.violations) + self.dropped == reported_before
+            if clean and work == self._last_work:
+                horizon = queue.idle_horizon()
+                if horizon is not None:
+                    k = (horizon - queue.now) // self.interval
+                    if k > 1:
+                        delay = k * self.interval
+            self._last_work = work
+        self._event = queue.schedule(delay, self._tick, "sanitizer")
+        queue.mark_elastic(self._event)
 
     def final_check(self) -> None:
         """One closing sweep over the (quiesced or cut-off) machine."""
@@ -175,7 +206,7 @@ class Sanitizer:
         if self.mode == "degrade":
             self.degraded = True
             if self._event is not None:
-                self._event.cancel()
+                machine.queue.cancel(self._event)
                 self._event = None
         elif first:
             print(f"sanitizer: {message}", file=sys.stderr)
@@ -213,25 +244,27 @@ class Sanitizer:
     # --- event queue ---------------------------------------------------
 
     def _check_queue(self) -> None:
+        # backend-portable: peek_time()/pending_events() work identically
+        # over the object kernel's Event heap and the flat kernel's
+        # packed-integer heap — no _heap layout knowledge here.
         queue = self.machine.queue
-        heap = queue._heap
-        if not heap:
-            return
         now = queue.now
-        # heap property: the top is the minimum, so one peek covers all
-        if heap[0][0] < now:
+        head = queue.peek_time()
+        if head is None:
+            return
+        if head < now:
             self._report(
                 "queue-time-monotonic",
-                detail=f"pending event at t={heap[0][0]} behind now={now}",
+                detail=f"pending event at t={head} behind now={now}",
             )
         horizon = now + self.horizon
-        for ev in heap:
-            if ev[2] is not None and ev[0] > horizon:
+        for t, label in queue.pending_events():
+            if t > horizon:
                 self._report(
                     "event-horizon",
                     detail=(
-                        f"{ev[3] or 'event'} scheduled {ev[0] - now} cycles "
-                        f"out (t={ev[0]}) — undeliverable, a lost message"
+                        f"{label or 'event'} scheduled {t - now} cycles "
+                        f"out (t={t}) — undeliverable, a lost message"
                     ),
                 )
                 break

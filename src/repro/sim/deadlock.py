@@ -38,13 +38,18 @@ class Watchdog:
         self._event = None
 
     def start(self) -> None:
-        self._event = self.machine.queue.schedule(
-            self.interval, self._tick, "watchdog"
-        )
+        queue = self.machine.queue
+        self._event = queue.schedule(self.interval, self._tick, "watchdog")
+        # elastic: our tick is housekeeping, not machine progress, so
+        # other pumps' idle_horizon() must see past it.  The watchdog
+        # itself NEVER fast-forwards — an idle-but-live machine is
+        # exactly the deadlock it exists to flag, so its cadence is
+        # sacrosanct.
+        queue.mark_elastic(self._event)
 
     def stop(self) -> None:
         if self._event is not None:
-            self._event.cancel()
+            self.machine.queue.cancel(self._event)
             self._event = None
 
     def _tick(self) -> None:
@@ -53,6 +58,7 @@ class Watchdog:
         # stand down (all cores finished), or raise below.
         self._event = None
         machine = self.machine
+        machine.pump_ticks += 1
         progress = sum(
             core.ops_committed + core.stores_merged for core in machine.cores
         )
@@ -79,6 +85,7 @@ class Watchdog:
             self._event = machine.queue.schedule(
                 self.interval, self._tick, "watchdog"
             )
+            machine.queue.mark_elastic(self._event)
 
     def _describe(self, live) -> str:
         parts = []
@@ -129,13 +136,10 @@ class Watchdog:
                 ],
                 "bs_lines": sorted(core.bs._entries),
             })
-        in_flight = []
-        for ev in machine.queue._heap:
-            if ev[2] is None:  # cancelled
-                continue
-            in_flight.append({"time": ev[0], "label": ev[3]})
-            if len(in_flight) >= _MAX_EVENTS:
-                break
+        in_flight = [
+            {"time": t, "label": label}
+            for t, label in machine.queue.pending_events()[:_MAX_EVENTS]
+        ]
         in_flight.sort(key=lambda e: e["time"])
         bundle = {
             "cycle": machine.queue.now,

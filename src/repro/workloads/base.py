@@ -106,6 +106,7 @@ def run_workload(
     obs=None,
     sanitize: Optional[str] = None,
     budget=None,
+    kernel: Optional[str] = None,
 ) -> WorkloadRun:
     """Build, run and wrap one workload under one fence design.
 
@@ -125,7 +126,7 @@ def run_workload(
     if params is None:
         params = MachineParams().with_cores(num_cores)
     params = params.with_design(design)
-    machine = Machine(params, seed=seed)
+    machine = Machine(params, seed=seed, kernel=kernel)
     if obs is not None:
         obs.attach(machine)
     if sanitize is None:

@@ -1,8 +1,55 @@
-"""Root conftest: re-exports the shared fixtures from tests.support."""
+"""Root conftest: shared fixtures plus the kernel-backend axis.
+
+The simulator has two interchangeable event-queue backends (see
+:mod:`repro.common.kernels`).  ``--kernel-backend`` re-runs the
+behavioural suites on a chosen backend — or on *both*, parameterizing
+every test that uses the ``kernel`` fixture:
+
+    pytest --kernel-backend=both tests/golden tests/fences
+
+The fixture exports the choice through ``REPRO_KERNEL``, which every
+``Machine`` built without an explicit ``kernel=`` argument honours, so
+whole suites (goldens, litmus conformance, chaos replay, sanitizer)
+become differential tests without touching each test body.  Suites
+that opt in do so with an autouse shim in their own conftest.
+"""
 
 import pytest
 
 from tests.support import tiny_params
+
+KERNELS = ("object", "flat")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--kernel-backend",
+        action="store",
+        default="object",
+        choices=KERNELS + ("both",),
+        help="simulation kernel backend(s) for tests using the 'kernel' "
+        "fixture: object (default), flat, or both (parameterizes each "
+        "test across the two backends)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "kernel" in metafunc.fixturenames:
+        choice = metafunc.config.getoption("--kernel-backend")
+        backends = KERNELS if choice == "both" else (choice,)
+        metafunc.parametrize("kernel", backends, indirect=True)
+
+
+@pytest.fixture
+def kernel(request, monkeypatch):
+    """The selected kernel backend name, exported via REPRO_KERNEL.
+
+    Any ``Machine`` the test (or code under test) builds without an
+    explicit ``kernel=`` argument runs on this backend.
+    """
+    name = getattr(request, "param", "object")
+    monkeypatch.setenv("REPRO_KERNEL", name)
+    return name
 
 
 @pytest.fixture

@@ -1,0 +1,15 @@
+"""Fence/litmus conformance suite rides the kernel-backend axis.
+
+Litmus outcomes and conformance matrices are kernel-independent facts
+about the memory model; the autouse shim routes the suite through the
+backend(s) selected with ``--kernel-backend`` so both kernels must
+produce identical verdicts.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _kernel_backend(kernel):
+    """Autouse: pins REPRO_KERNEL for every fence-conformance test."""
+    return kernel

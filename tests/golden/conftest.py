@@ -1,0 +1,16 @@
+"""Golden-trace suite rides the kernel-backend axis.
+
+Every test here builds machines through ``run_workload`` / ``Machine``
+without naming a kernel, so the autouse shim below routes the whole
+suite through the backend(s) selected with ``--kernel-backend``.  The
+goldens themselves are backend-free: a flat-kernel run must reproduce
+them bit-for-bit or the differential run fails.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _kernel_backend(kernel):
+    """Autouse: pins REPRO_KERNEL for every golden test."""
+    return kernel

@@ -1,0 +1,16 @@
+"""Sanitizer suite rides the kernel-backend axis.
+
+The sanitizer walks the queue through the backend-portable protocol
+(peek_time / pending_events / unsafe_schedule_at), so every detection,
+escalation and diagnostics test must behave identically on both
+kernels; the autouse shim routes the suite through the backend(s)
+selected with ``--kernel-backend``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _kernel_backend(kernel):
+    """Autouse: pins REPRO_KERNEL for every sanitizer test."""
+    return kernel

@@ -1,0 +1,215 @@
+"""Quiescence fast-forward: pumps skip idle windows, nothing else.
+
+When the machine is idle — no non-elastic work before some horizon —
+the sampling pumps (sanitizer, governor) reschedule themselves just
+past the horizon instead of ticking vacantly through the gap.  The
+contract pinned here:
+
+* a jump lands on the pump's own cadence grid (multiples of its
+  interval), so post-window tick cycles are exactly the cycles a
+  non-fast-forwarded run would have ticked at;
+* no scheduled wakeup, watchdog deadline, metrics epoch or sanitizer
+  horizon check is ever skipped — machine-visible behaviour (cycles,
+  stats, violations, deadlock cycle) is identical with the feature off
+  (``REPRO_NO_FASTFORWARD=1``);
+* what *does* change is vacuous work: idle-window sweeps collapse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DeadlockError
+from repro.common.params import FenceDesign
+from repro.core import isa as ops
+from repro.sanitizer import Sanitizer
+from repro.sim.machine import Machine
+
+from tests.support import tiny_params
+
+#: a long, completely idle stretch (one Compute, no memory traffic)
+IDLE = 200_000
+
+
+def _idle_machine(no_ff, monkeypatch, interval=500, kernel="object",
+                  tail_ops=3):
+    """One thread computes through a long idle window, then does a few
+    stores (so the run does not end *at* the window's edge)."""
+    if no_ff:
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+    m = Machine(tiny_params(num_cores=2), seed=5, kernel=kernel)
+    san = Sanitizer(mode="warn", interval=interval)
+    m.attach_sanitizer(san)
+    x = m.alloc.word()
+
+    def t(ctx):
+        yield ops.Compute(IDLE)
+        for i in range(tail_ops):
+            yield ops.Store(x + 64 * (ctx.tid + 1), i)
+            yield ops.Load(x + 64 * (ctx.tid + 1))
+
+    m.spawn(t)
+    m.spawn(t)
+    return m, san
+
+
+@pytest.mark.parametrize("kern", ["object", "flat"])
+def test_idle_window_collapses_but_behaviour_is_identical(
+        kern, monkeypatch):
+    runs = {}
+    for no_ff in (False, True):
+        m, san = _idle_machine(no_ff, monkeypatch, kernel=kern)
+        result = m.run()
+        runs[no_ff] = {
+            "cycles": result.cycles,
+            "stats": result.stats.to_dict(),
+            "violations": san.violations,
+            "dropped": san.dropped,
+            "sweeps": san.sweeps,
+            "pump_ticks": m.pump_ticks,
+        }
+    ff, no_ff = runs[False], runs[True]
+    # machine-visible behaviour identical...
+    assert ff["cycles"] == no_ff["cycles"]
+    assert ff["stats"] == no_ff["stats"]
+    assert ff["violations"] == no_ff["violations"] == []
+    # ...but the vacant idle-window sweeps collapsed: without ff the
+    # pump ticks once per interval across the whole run, with ff it
+    # takes only a handful of ticks at the window edges
+    assert no_ff["sweeps"] >= ff["cycles"] // 500 - 2
+    assert ff["sweeps"] < no_ff["sweeps"] // 10
+
+
+def test_jump_lands_on_the_pump_cadence_grid(monkeypatch):
+    """Fast-forwarded tick cycles are a subset of the non-ff tick
+    cycles: jumps are whole multiples of the interval, so the grid is
+    preserved (this is what makes detection timing provably equal)."""
+    grids = {}
+    for no_ff in (False, True):
+        m, san = _idle_machine(no_ff, monkeypatch)
+        ticks = []
+        orig = san._tick
+
+        def probe(san=san, ticks=ticks, orig=orig):
+            ticks.append(san.machine.queue.now)
+            orig()
+
+        san._tick = probe
+        # re-point is safe: start() schedules bound method by attribute
+        m.run()
+        grids[no_ff] = ticks
+    assert set(grids[False]) <= set(grids[True])
+    interval = 500
+    assert all(t % interval == 0 for t in grids[False])
+
+
+@pytest.mark.parametrize("kern", ["object", "flat"])
+def test_watchdog_fires_at_the_same_cycle_with_and_without_ff(
+        kern, monkeypatch):
+    """The watchdog never fast-forwards: an idle-but-live machine is
+    the deadlock it exists to flag.  A genuine W+ all-wf deadlock
+    (paper Fig. 3a) must be caught at the identical cycle either way."""
+    from repro.common.params import FenceRole
+    from repro.workloads.litmus import store_buffering
+
+    cycles = {}
+    for no_ff in (False, True):
+        if no_ff:
+            monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+        monkeypatch.setenv("REPRO_KERNEL", kern)
+        with pytest.raises(DeadlockError) as exc:
+            store_buffering(
+                FenceDesign.W_PLUS,
+                roles=(FenceRole.CRITICAL, FenceRole.CRITICAL),
+                recovery=False,
+            )
+        cycles[no_ff] = (str(exc.value), exc.value.blocked_cores)
+    assert cycles[False] == cycles[True]
+
+
+def test_metrics_epochs_are_never_skipped(monkeypatch):
+    """The metrics pump is deliberately *not* elastic: its epoch
+    boundaries are observable output.  With a collector attached, the
+    fast-forwarded timeline must sample the same epochs with the same
+    deltas as the non-ff run."""
+    from repro.obs import Observability
+
+    samples = {}
+    for no_ff in (False, True):
+        if no_ff:
+            monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+        m, san = _idle_machine(no_ff, monkeypatch)
+        obs = Observability(trace=False, metrics_interval=1000)
+        obs.attach(m)
+        result = m.run()
+        samples[no_ff] = (obs.metrics.ticks, obs.metrics.samples)
+    assert samples[False] == samples[True]
+    # the idle window really was sampled epoch by epoch
+    assert samples[False][0] >= result.cycles // 1000 - 1
+
+
+def test_event_horizon_violation_survives_fast_forward(monkeypatch):
+    """A lost message parked beyond the event horizon must be reported
+    identically: the sanitizer only jumps after a *clean* sweep, so a
+    standing horizon violation pins the pump to its normal cadence."""
+    counts = {}
+    for no_ff in (False, True):
+        m, san = _idle_machine(no_ff, monkeypatch)
+        m.queue.schedule(1_500_000, lambda: None, "lost_putm")
+        result = m.run()
+        assert result.completed
+        horizon = [v for v in san.violations
+                   if v["invariant"] == "event-horizon"]
+        counts[no_ff] = (len(horizon), san.dropped, result.cycles)
+        assert horizon, "the lost message was never flagged"
+    assert counts[False] == counts[True]
+
+
+def test_no_fastforward_env_pins_the_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+    assert Machine(tiny_params()).fast_forward is False
+    monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+    assert Machine(tiny_params()).fast_forward is True
+
+
+@given(idle=st.integers(10_000, 120_000), seed=st.integers(0, 9),
+       interval=st.sampled_from([250, 500, 1000]),
+       kernel=st.sampled_from(["object", "flat"]))
+@settings(max_examples=12, deadline=None)
+def test_ff_equivalence_property(idle, seed, interval, kernel):
+    """Random idle-window shapes: fast-forward never changes cycles,
+    stats, or violation counts, on either kernel backend."""
+    import os
+
+    def one(no_ff):
+        if no_ff:
+            os.environ["REPRO_NO_FASTFORWARD"] = "1"
+        else:
+            os.environ.pop("REPRO_NO_FASTFORWARD", None)
+        try:
+            m = Machine(tiny_params(num_cores=2), seed=seed, kernel=kernel)
+            san = Sanitizer(mode="warn", interval=interval)
+            m.attach_sanitizer(san)
+            x = m.alloc.word()
+
+            def t(ctx):
+                yield ops.Compute(idle // (ctx.tid + 1))
+                yield ops.Store(x + 64 * (ctx.tid + 1), ctx.tid)
+                yield ops.Compute(idle // 2)
+                yield ops.Load(x + 64 * (ctx.tid + 1))
+
+            m.spawn(t)
+            m.spawn(t)
+            result = m.run()
+            return (result.cycles, result.stats.to_dict(),
+                    len(san.violations), san.dropped)
+        finally:
+            os.environ.pop("REPRO_NO_FASTFORWARD", None)
+
+    assert one(False) == one(True)

@@ -1,0 +1,450 @@
+"""Unit tests for the flat (table-driven) event kernel.
+
+Mirrors :mod:`tests.unit.test_events` through the backend-portable
+protocol — handles are opaque, cancellation goes through
+``queue.cancel`` — plus the flat-specific machinery: handler
+interning, packed-key layout, seq renumbering, the big-key escape
+hatch, and the compiled/pure-Python loop boundary.
+"""
+
+import pytest
+
+from repro.common.errors import SimulatorError
+from repro.common.flatevents import (
+    _C_KEY_LIMIT,
+    _SEQ_BITS,
+    _SEQ_MASK,
+    FlatEventQueue,
+)
+
+
+def test_events_fire_in_time_order():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(10, lambda: fired.append("b"))
+    q.schedule(5, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("c"))
+    q.run()
+    assert fired == ["a", "b", "c"]
+    assert q.now == 20
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    q = FlatEventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(7, lambda i=i: fired.append(i))
+    q.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    q = FlatEventQueue()
+    with pytest.raises(SimulatorError):
+        q.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    q = FlatEventQueue()
+    fired = []
+    h = q.schedule(5, lambda: fired.append("x"))
+    q.schedule(3, lambda: fired.append("y"))
+    q.cancel(h)
+    q.run()
+    assert fired == ["y"]
+
+
+def test_cancel_none_is_a_noop():
+    q = FlatEventQueue()
+    q.cancel(None)
+
+
+def test_events_scheduled_during_execution():
+    q = FlatEventQueue()
+    fired = []
+
+    def first():
+        fired.append("first")
+        q.schedule(5, lambda: fired.append("nested"))
+
+    q.schedule(1, first)
+    q.run()
+    assert fired == ["first", "nested"]
+    assert q.now == 6
+
+
+def test_run_until_stops_clock_at_limit():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(5, lambda: fired.append("a"))
+    q.schedule(50, lambda: fired.append("b"))
+    q.run(until=10)
+    assert fired == ["a"]
+    assert q.now == 10
+    q.run()
+    assert fired == ["a", "b"]
+
+
+def test_stop_when_predicate():
+    q = FlatEventQueue()
+    count = []
+
+    def tick():
+        count.append(1)
+        q.schedule(1, tick)
+
+    q.schedule(0, tick)
+    q.run(stop_when=lambda: len(count) >= 3)
+    assert len(count) == 3
+
+
+def test_schedule_at_absolute_time():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(3, lambda: q.schedule_at(10, lambda: fired.append(q.now)))
+    q.run()
+    assert fired == [10]
+
+
+def test_len_counts_pending_not_cancelled():
+    q = FlatEventQueue()
+    h1 = q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    q.cancel(h1)
+    assert len(q) == 1
+
+
+def test_empty_and_peek():
+    q = FlatEventQueue()
+    assert q.empty()
+    assert q.peek_time() is None
+    q.schedule(4, lambda: None)
+    assert not q.empty()
+    assert q.peek_time() == 4
+
+
+def test_pending_events_reports_live_labelled_times():
+    q = FlatEventQueue()
+    q.schedule(4, lambda: None, "keep")
+    dead = q.schedule(6, lambda: None, "dead")
+    q.schedule(9, lambda: None)  # unlabelled
+    q.cancel(dead)
+    assert sorted(q.pending_events()) == [(4, "keep"), (9, "")]
+
+
+def test_step_runs_one_event_and_advances_clock():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(2, lambda: fired.append("a"))
+    q.schedule(5, lambda: fired.append("b"))
+    assert q.step()
+    assert (fired, q.now) == (["a"], 2)
+    assert q.step()
+    assert (fired, q.now) == (["a", "b"], 5)
+    assert not q.step()  # drained
+
+
+def test_step_skips_cancelled_events():
+    q = FlatEventQueue()
+    fired = []
+    h = q.schedule(1, lambda: fired.append("x"))
+    q.schedule(2, lambda: fired.append("y"))
+    q.cancel(h)
+    assert q.step()
+    assert fired == ["y"]
+
+
+def test_executed_counter_tracks_dispatches():
+    q = FlatEventQueue()
+    for _ in range(4):
+        q.schedule(1, lambda: None)
+    cancelled = q.schedule(1, lambda: None)
+    q.cancel(cancelled)
+    q.run()
+    assert q.executed == 4
+
+
+def test_executed_is_current_inside_handlers():
+    """Pumps read ``executed`` mid-run to detect idle windows; the
+    counter must include the event being dispatched."""
+    q = FlatEventQueue()
+    seen = []
+    for _ in range(3):
+        q.schedule(1, lambda: seen.append(q.executed))
+    q.run()
+    assert seen == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# wake-on-event (request_stop / clear_stop)
+# ---------------------------------------------------------------------------
+
+
+def test_request_stop_halts_before_next_event():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(1, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(2, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    assert q.stop_requested
+
+
+def test_clear_stop_resumes_where_it_left_off():
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(1, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(2, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    q.clear_stop()
+    q.run()
+    assert fired == ["a", "b"]
+    assert q.now == 2
+
+
+def test_stop_requested_midbatch_preserves_remaining_events():
+    """Stopping during a same-cycle batch must not lose batch-mates."""
+    q = FlatEventQueue()
+    fired = []
+    q.schedule(3, lambda: (fired.append("a"), q.request_stop()))
+    q.schedule(3, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a"]
+    q.clear_stop()
+    q.run()
+    assert fired == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# flat-specific machinery
+# ---------------------------------------------------------------------------
+
+
+def test_handler_interning_dispatches_by_table_index():
+    q = FlatEventQueue()
+    fired = []
+
+    def hot():
+        fired.append(q.now)
+
+    hid = q.register_handler(hot)
+    assert q.register_handler(hot) == hid  # idempotent
+    h = q.schedule(3, hot)
+    # the record is the integer id, not the callable
+    assert q._fn[h & _SEQ_MASK] == hid
+    q.schedule(5, lambda: fired.append("closure"))  # uninterned path
+    q.run()
+    assert fired == [3, "closure"]
+
+
+def test_packed_key_layout():
+    q = FlatEventQueue()
+    h = q.schedule(7, lambda: None)
+    assert h >> _SEQ_BITS == 7
+    assert h & _SEQ_MASK == 1
+
+
+def test_handles_never_reused():
+    """Seqs retire forever: a stale handle can never cancel a later
+    event (the flat kernel's answer to free-list recycling)."""
+    q = FlatEventQueue()
+    fired = []
+    stale = q.schedule(1, lambda: fired.append("one"))
+    q.run()
+    q.cancel(stale)  # already fired: must be a no-op
+    for i in range(8):
+        q.schedule(1, lambda i=i: fired.append(i))
+    q.cancel(stale)
+    q.run()
+    assert fired == ["one"] + list(range(8))
+
+
+def test_resequence_preserves_order_and_labels():
+    q = FlatEventQueue()
+    fired = []
+    # push _seq close to the renumbering threshold
+    q._seq = _SEQ_MASK - 2
+    handles = [
+        q.schedule(5, lambda i=i: fired.append(i), f"lab{i}")
+        for i in range(6)  # crosses the 2^32 boundary mid-burst
+    ]
+    assert q._seq <= 8  # renumbering happened and reset the counter
+    q.cancel(handles[2])
+    labels = {label for _, label in q.pending_events()}
+    assert labels == {f"lab{i}" for i in range(6) if i != 2}
+    q.run()
+    assert fired == [i for i in range(6) if i != 2]
+
+
+def test_unsafe_schedule_at_plants_past_events():
+    q = FlatEventQueue()
+    q.schedule(10, lambda: None, "future")
+    q.unsafe_schedule_at(-5, lambda: None, "ghost")
+    assert q.peek_time() == -5
+    assert (-5, "ghost") in q.pending_events()
+
+
+def test_big_keys_fall_back_to_the_python_loop():
+    """Keys beyond the C int64 range flip ``_big``; the run must still
+    dispatch correctly through the pure-Python loop."""
+    q = FlatEventQueue()
+    fired = []
+    far = 1 << 40  # time << 32 is beyond 2^62
+    q.schedule(far, lambda: fired.append("far"))
+    assert q._big
+    q.schedule(1, lambda: fired.append("near"))
+    q.run(until=2)
+    assert fired == ["near"]
+    q.run()
+    assert fired == ["near", "far"]
+    assert q.now == far
+
+
+def test_big_key_mid_run_hands_off_cleanly():
+    """A handler scheduling a beyond-int64 key mid-run must not derail
+    dispatch (the compiled loop delegates the rest of the run)."""
+    q = FlatEventQueue()
+    fired = []
+    far = 1 << 40
+
+    def plant():
+        fired.append("plant")
+        q.schedule(far, lambda: fired.append("far"))
+        q.schedule(1, lambda: fired.append("near"))
+
+    q.schedule(1, plant)
+    q.run()
+    assert fired == ["plant", "near", "far"]
+    assert q.now == 1 + far
+
+
+def test_idle_horizon_sees_past_elastic_events():
+    q = FlatEventQueue()
+    assert q.idle_horizon() is None
+    pump = q.schedule(5, lambda: None, "pump")
+    q.mark_elastic(pump)
+    assert q.idle_horizon() is None  # only elastic work pends
+    q.schedule(40, lambda: None, "work")
+    assert q.idle_horizon() == 40
+    cancelled = q.schedule(20, lambda: None, "gone")
+    q.cancel(cancelled)
+    assert q.idle_horizon() == 40  # cancelled events are not a horizon
+
+
+def test_mark_elastic_prunes_dead_seqs():
+    q = FlatEventQueue()
+    for i in range(80):  # > the 64-entry pruning threshold
+        h = q.schedule(1, lambda: None)
+        q.mark_elastic(h)
+    q.run()
+    live = q.schedule(5, lambda: None)
+    q.mark_elastic(live)
+    assert len(q._elastic) <= 65
+
+
+# ---------------------------------------------------------------------------
+# compiled core boundary
+# ---------------------------------------------------------------------------
+
+
+def test_env_pin_disables_the_compiled_core(monkeypatch):
+    monkeypatch.setenv("REPRO_FLAT_NO_C", "1")
+    assert FlatEventQueue()._use_c is False
+
+
+def test_exception_in_handler_leaves_consistent_state():
+    """An exception propagates with now/executed already published and
+    the remaining events intact — on whichever loop is active."""
+    q = FlatEventQueue()
+    fired = []
+
+    def boom():
+        raise RuntimeError("handler bug")
+
+    q.schedule(2, lambda: fired.append("a"))
+    q.schedule(4, boom)
+    q.schedule(6, lambda: fired.append("b"))
+    with pytest.raises(RuntimeError, match="handler bug"):
+        q.run()
+    assert fired == ["a"]
+    assert q.now == 4
+    assert q.executed == 2  # boom itself was dispatched
+    q.run()  # the queue remains usable
+    assert fired == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# property test: dispatch is a stable sort by (cycle, insertion seq)
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=60),
+    cancel_mask=st.lists(st.booleans(), min_size=60, max_size=60),
+)
+def test_dispatch_is_stable_sort_by_cycle_then_seq(delays, cancel_mask):
+    """Random schedules dispatch exactly as the stable sort of
+    (absolute cycle, insertion order), with cancelled events removed."""
+    q = FlatEventQueue()
+    fired = []
+    handles = []
+    for i, d in enumerate(delays):
+        handles.append(q.schedule(d, lambda i=i: fired.append(i)))
+    cancelled = set()
+    for i, (h, kill) in enumerate(zip(handles, cancel_mask)):
+        if kill:
+            q.cancel(h)
+            cancelled.add(i)
+    q.run()
+    expected = [
+        i for _, i in sorted(
+            (d, i) for i, d in enumerate(delays) if i not in cancelled
+        )
+    ]
+    assert fired == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    spec=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10),   # outer delay
+                  st.integers(min_value=0, max_value=10)),  # nested delay
+        min_size=1, max_size=25,
+    ),
+)
+def test_nested_schedules_keep_global_order(spec):
+    """Events scheduled from inside callbacks obey the same (cycle,
+    seq) order as everything else — including same-cycle re-entry."""
+    q = FlatEventQueue()
+    fired = []
+    expected_times = []
+
+    def make_nested(tag, t_abs):
+        def nested():
+            fired.append((q.now, tag))
+        return nested
+
+    def make_outer(i, nested_delay):
+        def outer():
+            t_nested = q.now + nested_delay
+            expected_times.append((q.now, ("outer", i)))
+            expected_times.append((t_nested, ("nested", i)))
+            fired.append((q.now, ("outer", i)))
+            q.schedule(nested_delay, make_nested(("nested", i), t_nested))
+        return outer
+
+    for i, (outer_delay, nested_delay) in enumerate(spec):
+        q.schedule(outer_delay, make_outer(i, nested_delay))
+    q.run()
+    # every event fired at its scheduled absolute time...
+    assert sorted(fired) == sorted(expected_times)
+    # ...and the dispatch sequence is non-decreasing in time
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
