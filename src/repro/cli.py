@@ -113,6 +113,13 @@ def _print_run(run) -> None:
     print(f"  busy / fence / other stall : "
           f"{t['busy'] / total:.1%} / {t['fence_stall'] / total:.1%} / "
           f"{t['other_stall'] / total:.1%}")
+    print("  per-core breakdown (busy / fence / other):")
+    cycles = run.cycles or 1
+    for cid, b in enumerate(s.breakdown):
+        print(f"    core {cid:<3d} {b.busy:>12,.1f} {b.fence_stall:>12,.1f} "
+              f"{b.other_stall:>12,.1f}   "
+              f"({b.busy / cycles:.0%} / {b.fence_stall / cycles:.0%} / "
+              f"{b.other_stall / cycles:.0%})")
     print(f"  sf / wf executed : {s.total_sf} / {s.total_wf}")
     if s.txn_commits or s.txn_aborts:
         print(f"  txn commits/aborts : {s.txn_commits}/{s.txn_aborts} "
@@ -134,13 +141,17 @@ def _trace_out_path(path: str, design, multi: bool) -> str:
 
 
 def _export_trace(obs, run, out_path: str, fmt: str) -> None:
-    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.export import run_provenance, write_chrome_trace, \
+        write_jsonl
 
     label = f"{run.name}:{run.design}"
+    provenance = run_provenance(run)
     if fmt == "jsonl":
-        write_jsonl(out_path, obs.tracer, obs.metrics, label=label)
+        write_jsonl(out_path, obs.tracer, obs.metrics, label=label,
+                    provenance=provenance)
     else:
-        write_chrome_trace(out_path, obs.tracer, obs.metrics, label=label)
+        write_chrome_trace(out_path, obs.tracer, obs.metrics, label=label,
+                           provenance=provenance)
     print(f"  [trace written to {out_path} ({fmt})"
           + ("; load it at https://ui.perfetto.dev or chrome://tracing"
              if fmt == "chrome" else "") + "]")
@@ -232,6 +243,13 @@ def cmd_trace(args) -> int:
         print()
         _export_trace(obs, run, args.out, args.format)
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Cycle-attribution profiler (run / diff / from-trace)."""
+    from repro.obs.profile import cmd_profile as profile_main
+
+    return profile_main(args, _design)
 
 
 LITMUS_KERNELS = {
@@ -464,6 +482,18 @@ def cmd_perf(args) -> int:
     if args.out != "-":
         harness.write_snapshot(snapshot, args.out)
         print(f"[snapshot written to {args.out}]")
+    if args.attrib_out:
+        attrib_snapshot = harness.run_attrib_profile(args.profile,
+                                                     kernel=args.kernel)
+        harness.write_snapshot(attrib_snapshot, args.attrib_out)
+        bad = [c["key"] for c in attrib_snapshot["cases"]
+               if not c["conservation_ok"]]
+        print(f"[attribution snapshot written to {args.attrib_out}]")
+        if bad:
+            # exit-code table: 1 = correctness-oracle failure
+            print(f"attribution conservation FAILED: {', '.join(bad)}",
+                  file=sys.stderr)
+            return 1
     if comparison is not None and not comparison["ok"] and not args.report_only:
         return 3
     return 0
@@ -584,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--format", default="chrome",
                       choices=("chrome", "jsonl"),
                       help="export format for --out (default: chrome)")
+
+    from repro.obs.profile import add_profile_parser
+
+    add_profile_parser(sub, _design)
 
     p_lit = sub.add_parser("litmus", help="run a litmus kernel")
     p_lit.add_argument("kernel", choices=sorted(LITMUS_KERNELS))
@@ -739,6 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
              "get a ':kflat' key suffix so comparison stays "
              "like-vs-like (default: each case's pinned kernel)",
     )
+    p_perf.add_argument(
+        "--attrib-out", default=None, metavar="PATH",
+        help="also write a cycle-attribution snapshot of the matrix "
+             "(simulated-cycle decomposition per case; e.g. "
+             "benchmarks/perf/BENCH_attrib.json)",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int)
@@ -758,6 +798,7 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "trace": cmd_trace,
+        "profile": cmd_profile,
         "litmus": cmd_litmus,
         "verify": cmd_verify,
         "synth": cmd_synth,

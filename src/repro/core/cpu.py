@@ -97,6 +97,10 @@ class Core:
         #: protocol-sanitizer hook (repro.sanitizer.Sanitizer) — cached
         #: like the tracer; None keeps the unsanitized path untouched.
         self.sanitizer = machine.sanitizer
+        #: cycle-attribution hook (repro.obs.attrib.CycleAttribution) —
+        #: cached like the tracer; None keeps the unprofiled path
+        #: untouched.  All attrib sites live off the _advance hot loop.
+        self.attrib = machine.attrib
         self.amap = l1.amap
         self.bs = l1.bs
         self.wb = WriteBuffer(params.write_buffer_entries)
@@ -441,7 +445,13 @@ class Core:
         t0 = self.queue.now
 
         def on_slot():
-            self.stats.add_other_stall(self.core_id, self.queue.now - t0)
+            waited = self.queue.now - t0
+            self.stats.add_other_stall(self.core_id, waited)
+            if waited:
+                if self.attrib is not None:
+                    self.attrib.wb_full(self.core_id, waited)
+                if self.tracer is not None:
+                    self.tracer.wb_full_stall(self.core_id, t0)
             self._retire_store(op)
             self._advance(None)
 
@@ -473,8 +483,11 @@ class Core:
         entry = self.wb.pop_head()
         self._drain_busy = False
         self.stores_merged += 1
-        if self.tracer is not None and entry.bouncing:
-            self.tracer.store_chain_end(self.core_id, entry.store_id)
+        if entry.bouncing:
+            if self.tracer is not None:
+                self.tracer.store_chain_end(self.core_id, entry.store_id)
+            if self.attrib is not None:
+                self.attrib.chain_close(self.core_id)
         self._on_store_completed(entry.store_id)
         self._kick_drain()
         self._refresh_done()
@@ -483,6 +496,8 @@ class Core:
         entry = self.wb._entries[0]  # the head: the only issued store
         if not entry.bouncing:
             self.stats.bounced_writes += 1
+            if self.attrib is not None:
+                self.attrib.chain_open(self.core_id)
         entry.bouncing = True
         entry.retries += 1
         self.stats.write_retries += 1
@@ -601,9 +616,15 @@ class Core:
 
         def on_done(was_hit: bool) -> None:
             latency = self.queue.now - t0
-            self.stats.breakdown[self.core_id].other_stall += max(
-                0.0, latency - self._issue_slot
-            )
+            stall = latency - self._issue_slot
+            if stall < 0.0:
+                stall = 0.0
+            self.stats.breakdown[self.core_id].other_stall += stall
+            if stall > 0.0:
+                if self.attrib is not None:
+                    self.attrib.mem(self.core_id, stall)
+                if self.tracer is not None:
+                    self.tracer.mem_stall(self.core_id, t0, stall)
             self._load_performed(op, word, po)
 
         self.l1.read(op.addr, self._guard(on_done))
@@ -651,6 +672,8 @@ class Core:
         self.stats.breakdown[self.core_id].fence_stall += self.queue.now - t0
         if self.tracer is not None:
             self.tracer.load_stall(self.core_id, t0, reason)
+        if self.attrib is not None:
+            self.attrib.load_stall(self.core_id, reason, self.queue.now - t0)
         retry()
 
     # ------------------------------------------------------------------
@@ -678,6 +701,8 @@ class Core:
                 return
             if self.tracer is not None:
                 self.tracer.sf_begin(self.core_id)
+            if self.attrib is not None:
+                self.attrib.sf_begin(self.core_id)
             self._run_strong_fence()
             return
         # weak fence
@@ -700,6 +725,8 @@ class Core:
             self.stats.wee_sf_conversions[self.core_id] += 1
             if self.tracer is not None:
                 self.tracer.sf_begin(self.core_id, demoted=True)
+            if self.attrib is not None:
+                self.attrib.sf_begin(self.core_id, demoted=True)
             self._run_strong_fence()
             return
         self.stats.wf_executed[self.core_id] += 1
@@ -724,6 +751,8 @@ class Core:
             )
             if self.tracer is not None:
                 self.tracer.sf_end(self.core_id, extra=base)
+            if self.attrib is not None:
+                self.attrib.sf_end(self.core_id, base)
             self._later(base, lambda: self._advance(None))
 
         self._wait_for_drain(self._guard(done))
@@ -761,10 +790,15 @@ class Core:
 
         def after_drain():
             def on_done(old: int) -> None:
-                self.stats.add_other_stall(
-                    self.core_id,
-                    max(0.0, (self.queue.now - t0) - self._issue_slot),
-                )
+                stall = (self.queue.now - t0) - self._issue_slot
+                if stall < 0.0:
+                    stall = 0.0
+                self.stats.add_other_stall(self.core_id, stall)
+                if stall > 0.0:
+                    if self.attrib is not None:
+                        self.attrib.rmw(self.core_id, stall)
+                    if self.tracer is not None:
+                        self.tracer.rmw_stall(self.core_id, t0, stall)
                 self._advance(old)
 
             def on_bounce() -> None:
@@ -845,6 +879,9 @@ class Core:
             # close episode spans the rollback is about to squash
             tracer.sf_abort(self.core_id)
             fences_unwound = tracer.wf_unwind_all(self.core_id)
+        if self.attrib is not None:
+            # a squashed sf wait was never charged: drop its window
+            self.attrib.sf_abort(self.core_id)
         self._epoch += 1  # invalidate in-flight thread continuations
         if self._cont_ev is not None:
             # the fast-path continuations are not epoch-guarded: squash
@@ -870,6 +907,8 @@ class Core:
                 self.core_id, pf.fence_id, pf.checkpoint,
                 dropped_stores, bs_cleared, fences_unwound,
             )
+        if self.attrib is not None:
+            self.attrib.recovery_begin(self.core_id)
         if self.machine.recorder is not None:
             self.machine.recorder.squash(self.core_id, pf.checkpoint)
         # squash side effects of the discarded (post-checkpoint) region:
@@ -899,6 +938,10 @@ class Core:
             if self.tracer is not None:
                 self.tracer.recovery_end(
                     self.core_id, extra=self.params.wplus_recovery_cycles
+                )
+            if self.attrib is not None:
+                self.attrib.recovery_end(
+                    self.core_id, self.params.wplus_recovery_cycles
                 )
             self._later(
                 self.params.wplus_recovery_cycles, lambda: self._advance(None)

@@ -169,14 +169,39 @@ def fig9_fig10_ustm(scale: float = 1.0, num_cores: int = 8,
                 per_txn = 0.0
             total = max(1.0, r.total)
             norm = per_txn / base_txn
-            txn_entries.append({
+            entry = {
                 "app": name, "design": str(design),
                 "normalized_time": norm,
                 "busy": norm * r.busy / total,
                 "fence_stall": norm * r.fence_stall / total,
                 "other_stall": norm * r.other_stall / total,
-            })
+            }
+            if r.attrib:
+                # profiler attribution: *which* fence component the
+                # stall is (drain vs bounce vs serialize vs recovery),
+                # same normalization as the coarse buckets above
+                entry["fence_components"] = {
+                    path[len("fence_stall."):]: norm * value / total
+                    for path, value in sorted(r.attrib.items())
+                    if path.startswith("fence_stall.")
+                    and not path.endswith(".total") and value
+                }
+            txn_entries.append(entry)
             txn_ratio[str(design)].append(norm)
+    # machine attribution summed per design (fence components only):
+    # the Fig.10 companion table naming where fence time actually goes
+    fence_attrib: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        for design in DESIGNS:
+            r = runs[(name, str(design), num_cores)]
+            if not r.attrib:
+                continue
+            acc = fence_attrib.setdefault(str(design), {})
+            for path, value in r.attrib.items():
+                if (path.startswith("fence_stall.")
+                        and not path.endswith(".total") and value):
+                    key = path[len("fence_stall."):]
+                    acc[key] = acc.get(key, 0.0) + value
     return {
         "apps": names,
         "seed": seed,
@@ -188,6 +213,7 @@ def fig9_fig10_ustm(scale: float = 1.0, num_cores: int = 8,
         "avg_txn_cycles_ratio": {
             d: report.mean(v) for d, v in txn_ratio.items()
         },
+        "fence_attrib": fence_attrib,
     }
 
 
@@ -219,7 +245,18 @@ def render_fig10(data: dict) -> str:
         ("design", "avg per-txn cycles vs S+"),
         [(d, f"{v:.2f}x") for d, v in data["avg_txn_cycles_ratio"].items()],
     )
-    return (f"{chart}\n\n{table}\n\n"
+    extra = ""
+    fence_attrib = data.get("fence_attrib") or {}
+    if fence_attrib:
+        rows = []
+        for design, comps in fence_attrib.items():
+            total = sum(comps.values()) or 1.0
+            top = sorted(comps.items(), key=lambda kv: -kv[1])[:3]
+            rows.append((design, ", ".join(
+                f"{k} {v / total:.0%}" for k, v in top)))
+        extra = "\n\n" + report.format_table(
+            ("design", "fence-stall attribution (top components)"), rows)
+    return (f"{chart}\n\n{table}{extra}\n\n"
             "paper: S+ spends 54% of txn time in fence stall; avg txn "
             "takes 24%/35% fewer cycles in WS+/W+; Wee only 11% fewer")
 

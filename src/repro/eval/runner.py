@@ -63,6 +63,10 @@ class RunSummary:
     #: violations a warn/degrade-mode sanitizer (REPRO_SANITIZE)
     #: recorded during the run (strict raises instead)
     sanitizer_violations: int = 0
+    #: machine-level cycle attribution, flattened to component ->
+    #: core-cycles ("fence_stall.sf.drain": 1234.5, ...); None on rows
+    #: journaled before the profiler existed
+    attrib: Optional[Dict[str, float]] = None
 
     @property
     def total(self) -> float:
@@ -89,9 +93,16 @@ class RunSummary:
 def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
     name, design_name, num_cores, scale, seed = job
     load_all_workloads()
+    from repro.obs import Observability
+    from repro.obs.attrib import flatten_node
+
+    # attribution rides along on every matrix run: pure accumulator
+    # writes, no event buffer, bit-identical simulated results — and
+    # the figure generators get the fence-component split for free
+    obs = Observability(trace=False, attrib=True)
     run = run_workload(
         name, FenceDesign[design_name], num_cores=num_cores,
-        scale=scale, seed=seed,
+        scale=scale, seed=seed, obs=obs,
     )
     stats = run.stats
     breakdown = stats.total_breakdown()
@@ -115,6 +126,7 @@ def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
         degraded=run.result.degraded,
         degraded_reason=run.result.degraded_reason,
         sanitizer_violations=run.result.sanitizer_violations,
+        attrib=flatten_node(obs.attrib.tree()["machine"]),
     )
 
 

@@ -63,6 +63,8 @@ class ChaosCase:
     sanitize: str = "strict"
     #: first sanitizer violation, when the sanitizer fired
     sanitizer: Optional[str] = None
+    #: cycle-attribution postmortem artifact, when one was written
+    attrib_path: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -93,6 +95,7 @@ def _execute(
     allowed=None,
     diag_dir: Optional[str] = None,
     sanitize: str = "off",
+    attrib=None,
 ):
     """One deterministic chaos execution; returns (run, injector)."""
     program = generate_program(seed)
@@ -105,8 +108,44 @@ def _execute(
         params_overrides=plan.params_overrides,
         diag_dir=diag_dir,
         sanitize=sanitize,
+        attrib=attrib,
     )
     return run, injector
+
+
+def _write_attrib_postmortem(
+    attrib, case: "ChaosCase", diag_dir: str,
+) -> Optional[str]:
+    """Attribution report next to the deadlock/sanitizer diagnostics:
+    *where the failing case's cycles went* (e.g. a recovery livelock
+    shows up as a dominant ``fence_stall.recovery`` subtree)."""
+    from repro.obs.profile import build_report
+
+    label = f"chaos:{case.scenario}:{case.design}:r{case.seed}"
+    report = build_report(
+        attrib.tree(label=label), "run",
+        provenance={
+            "workload": "chaos-litmus",
+            "design": case.design,
+            "seed": case.seed,
+            "fault_scenario": case.scenario,
+            "sanitize": case.sanitize,
+        },
+        events=attrib.design_events(),
+        hot_lines=attrib.top_lines(),
+    )
+    path = os.path.join(
+        diag_dir,
+        f"attrib_{case.scenario}_{case.design}_r{case.seed}.json",
+    )
+    try:
+        os.makedirs(diag_dir, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    except OSError:
+        return None
+    return path
 
 
 def run_chaos_case(
@@ -126,8 +165,13 @@ def run_chaos_case(
     catch-at-timeout behaviour.
     """
     plan = make_plan(scenario, seed)
+    attrib = None
+    if diag_dir:
+        from repro.obs import CycleAttribution
+
+        attrib = CycleAttribution()
     run, injector = _execute(plan, design, seed, diag_dir=diag_dir,
-                             sanitize=sanitize)
+                             sanitize=sanitize, attrib=attrib)
     case = ChaosCase(
         scenario=scenario,
         design=design.value,
@@ -144,6 +188,8 @@ def run_chaos_case(
     )
     if diag_dir and (run.deadlock or run.sanitizer):
         case.diagnostics_path = _newest_artifact(diag_dir)
+    if attrib is not None and case.failed:
+        case.attrib_path = _write_attrib_postmortem(attrib, case, diag_dir)
     return case
 
 

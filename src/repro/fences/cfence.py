@@ -104,9 +104,10 @@ class CFencePolicy(FencePolicy):
             finish()
 
         def finish():
-            core.stats.add_fence_stall(
-                core.core_id, (core.queue.now - t0) + trip
-            )
+            charge = (core.queue.now - t0) + trip
+            core.stats.add_fence_stall(core.core_id, charge)
+            if core.attrib is not None:
+                core.attrib.cfence(core.core_id, charge)
             core.queue.schedule(trip, resume, "cfence.reply")
 
         core.queue.schedule(trip, core._guard(at_table), "cfence.check")

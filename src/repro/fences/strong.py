@@ -25,6 +25,8 @@ class StrongOnlyPolicy(FencePolicy):
     design = FenceDesign.S_PLUS
 
     def flavour(self, role: FenceRole) -> FenceFlavour:
+        if self.core.attrib is not None:
+            self.core.attrib.note(self.core.core_id, "sf_flavours")
         return FenceFlavour.SF
 
     def sanitizer_check(self):

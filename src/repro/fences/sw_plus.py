@@ -31,8 +31,12 @@ class SWPlusPolicy(FencePolicy):
         promoted = core.wb.mark_ordered_upto(
             pf.last_store_id, word_mask_fn=core.amap.word_mask
         )
-        if promoted and core.tracer is not None:
-            core.tracer.order_promotion(core.core_id, promoted, True)
+        if promoted:
+            if core.tracer is not None:
+                core.tracer.order_promotion(core.core_id, promoted, True)
+            if core.attrib is not None:
+                core.attrib.note(core.core_id, "cond_order_promotions",
+                                 promoted)
         return True
 
     def on_pre_store_bounce(self, entry) -> None:
@@ -42,6 +46,8 @@ class SWPlusPolicy(FencePolicy):
             core = self.core
             if core.tracer is not None:
                 core.tracer.order_promotion(core.core_id, 1, True)
+            if core.attrib is not None:
+                core.attrib.note(core.core_id, "cond_order_promotions")
 
     def _is_pre_wf(self, entry) -> bool:
         return any(

@@ -72,6 +72,8 @@ class WPlusPolicy(FencePolicy):
             core.stats.storm_demotions[core.core_id] += 1
             if core.tracer is not None:
                 core.tracer.storm_demotion(core.core_id, self._demoted_until)
+            if core.attrib is not None:
+                core.attrib.note(core.core_id, "storm_demotions")
 
     def sanitizer_check(self):
         # rollback recovery is W+'s whole correctness story: a pending

@@ -77,6 +77,8 @@ class L1Controller:
         self.faults = None
         #: protocol-sanitizer hook (set by Machine.attach_sanitizer)
         self.sanitizer = None
+        #: cycle-attribution hook (set by Machine.attach_attrib)
+        self.attrib = None
         # single-slot continuation state for the L1 hit fast paths.
         # The core is in-order: at most one outstanding load, one head
         # store (the drain engine is serialized by ``_drain_busy``) and
@@ -133,6 +135,8 @@ class L1Controller:
             self._fill(line, state)
             if self.tracer is not None:
                 self.tracer.l1_miss(self.core_id, line, "GetS", t0, "filled")
+            if self.attrib is not None:
+                self.attrib.l1_wait(self.core_id, line, self.queue.now - t0)
             on_done(False)
 
         txn.on_done = done
@@ -191,6 +195,9 @@ class L1Controller:
                     self.tracer.l1_miss(
                         self.core_id, line, t.kind.value, t0, "bounced"
                     )
+                if self.attrib is not None:
+                    self.attrib.l1_wait(self.core_id, line,
+                                        self.queue.now - t0)
                 on_bounce()
                 return
             if t.kind in (Msg.ORDER, Msg.COND_ORDER):
@@ -203,6 +210,8 @@ class L1Controller:
                 self.tracer.l1_miss(
                     self.core_id, line, t.kind.value, t0, "merged"
                 )
+            if self.attrib is not None:
+                self.attrib.l1_wait(self.core_id, line, self.queue.now - t0)
             self._note_po(entry.po)
             self.image.write(entry.word, entry.value, self.core_id)
             on_done()
@@ -261,11 +270,16 @@ class L1Controller:
                     self.tracer.l1_miss(
                         self.core_id, line, "GetX", t0, "bounced"
                     )
+                if self.attrib is not None:
+                    self.attrib.l1_wait(self.core_id, line,
+                                        self.queue.now - t0)
                 on_bounce()
                 return
             self._fill(line, LineState.M)
             if self.tracer is not None:
                 self.tracer.l1_miss(self.core_id, line, "GetX", t0, "merged")
+            if self.attrib is not None:
+                self.attrib.l1_wait(self.core_id, line, self.queue.now - t0)
             self._note_po(po)
             old, _new = self.image.rmw(word, apply_fn, self.core_id)
             on_done(old)

@@ -58,6 +58,9 @@ class WriteBuffer:
         #: protocol-sanitizer hook (set by Machine.attach_sanitizer):
         #: FIFO/overflow check on push, zero-cost when None
         self.sanitizer = None
+        #: cycle-attribution hook (set by Machine.attach_attrib):
+        #: peak-occupancy metadata on push, zero-cost when None
+        self.attrib = None
 
     # --- occupancy -----------------------------------------------------
 
@@ -83,6 +86,8 @@ class WriteBuffer:
             self.tracer.wb_depth(self.core_id, len(self._entries))
         if self.sanitizer is not None:
             self.sanitizer.on_wb_push(self)
+        if self.attrib is not None:
+            self.attrib.wb_push(self.core_id, len(self._entries))
         return entry
 
     def head(self) -> Optional[StoreEntry]:

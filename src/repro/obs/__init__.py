@@ -20,10 +20,12 @@ hot path stays within noise of the pre-observability kernel
 (referee: ``benchmarks/perf`` and :mod:`repro.obs.overhead`).
 """
 
+from repro.obs.attrib import CycleAttribution
 from repro.obs.metrics import MetricsCollector
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
+    "CycleAttribution",
     "MetricsCollector",
     "NULL_TRACER",
     "Observability",
@@ -33,11 +35,12 @@ __all__ = [
 
 
 class Observability:
-    """One run's worth of observability state: tracer + metrics.
+    """One run's worth of observability state: tracer + metrics +
+    cycle attribution.
 
     Construct, pass to :func:`repro.workloads.base.run_workload` (or
     call :meth:`attach` on a hand-built machine before ``run()``), then
-    read ``tracer`` / ``metrics`` after the run::
+    read ``tracer`` / ``metrics`` / ``attrib`` after the run::
 
         obs = Observability(metrics_interval=1000)
         run = run_workload("fib", FenceDesign.W_PLUS, obs=obs)
@@ -50,16 +53,20 @@ class Observability:
         metrics_interval=None,
         max_events=None,
         max_samples: int = 512,
+        attrib: bool = False,
     ):
         self.tracer = Tracer(max_events=max_events) if trace else None
         self.metrics_interval = metrics_interval
         self.max_samples = max_samples
         self.metrics = None
+        self.attrib = CycleAttribution() if attrib else None
 
     def attach(self, machine) -> "Observability":
         """Wire this session into *machine* (before ``machine.run()``)."""
         if self.tracer is not None:
             machine.attach_tracer(self.tracer)
+        if self.attrib is not None:
+            machine.attach_attrib(self.attrib)
         if self.metrics_interval:
             self.metrics = MetricsCollector(
                 machine,

@@ -40,6 +40,30 @@ from repro.obs.tracer import TRACK_DIR_BASE, TRACK_METRICS, TRACK_NOC, Tracer
 PID = 1
 
 
+def run_provenance(run, fault_scenario: Optional[str] = None) -> Dict[str, object]:
+    """Provenance header for a :class:`~repro.workloads.base.WorkloadRun`.
+
+    Recorded in the JSONL ``meta`` line and the Chrome ``otherData`` so
+    a trace on disk is self-describing: the analytics loader
+    (:mod:`repro.obs.analyze`) *requires* these fields to replay
+    attribution and label reports.
+    """
+    result = run.result
+    design = run.design
+    return {
+        "workload": run.name,
+        "design": design.value if hasattr(design, "value") else str(design),
+        "seed": run.seed,
+        "cores": run.num_cores,
+        "scale": run.scale,
+        "kernel": run.kernel,
+        "sanitize": run.sanitize,
+        "fault_scenario": fault_scenario,
+        "degraded": bool(getattr(result, "degraded", False)),
+        "degraded_reason": getattr(result, "degraded_reason", None),
+    }
+
+
 def track_name(track: int) -> str:
     """Human-readable lane name for a track id."""
     if track == TRACK_NOC:
@@ -69,7 +93,9 @@ def _metadata_events(tracks) -> List[dict]:
 
 
 def to_chrome_trace(tracer: Tracer, metrics=None,
-                    label: Optional[str] = None) -> Dict[str, object]:
+                    label: Optional[str] = None,
+                    provenance: Optional[Dict[str, object]] = None,
+                    ) -> Dict[str, object]:
     """Render a tracer (and optional metrics) as a Chrome trace dict."""
     tracks = {ev.track for ev in tracer.events}
     if metrics is not None and metrics.samples:
@@ -105,6 +131,8 @@ def to_chrome_trace(tracer: Tracer, metrics=None,
     }
     if label:
         trace["otherData"]["label"] = label
+    if provenance is not None:
+        trace["otherData"]["provenance"] = provenance
     return trace
 
 
@@ -138,8 +166,11 @@ def _metrics_counter_events(metrics) -> List[dict]:
 
 
 def write_chrome_trace(path: str, tracer: Tracer, metrics=None,
-                       label: Optional[str] = None) -> Dict[str, object]:
-    trace = to_chrome_trace(tracer, metrics, label=label)
+                       label: Optional[str] = None,
+                       provenance: Optional[Dict[str, object]] = None,
+                       ) -> Dict[str, object]:
+    trace = to_chrome_trace(tracer, metrics, label=label,
+                            provenance=provenance)
     with open(path, "w") as fh:
         json.dump(trace, fh, separators=(",", ":"))
         fh.write("\n")
@@ -147,7 +178,8 @@ def write_chrome_trace(path: str, tracer: Tracer, metrics=None,
 
 
 def write_jsonl(path: str, tracer: Tracer, metrics=None,
-                label: Optional[str] = None) -> int:
+                label: Optional[str] = None,
+                provenance: Optional[Dict[str, object]] = None) -> int:
     """Write the compact JSONL stream; returns the line count."""
     lines = 0
     with open(path, "w") as fh:
@@ -159,6 +191,8 @@ def write_jsonl(path: str, tracer: Tracer, metrics=None,
         }
         if label:
             header["label"] = label
+        if provenance is not None:
+            header["provenance"] = provenance
         fh.write(json.dumps(header, separators=(",", ":")) + "\n")
         lines += 1
         for ev in tracer.events:

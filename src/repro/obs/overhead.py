@@ -6,9 +6,12 @@ pinned ``benchmarks/perf`` case with tracing *disabled* and compares
 the result against the committed ``BENCH_perf.json`` baseline — if the
 disabled path regressed past the threshold (3% by default), the hooks
 leaked cost into the event kernel and the gate fails.  The same run
-then times the case with tracing *enabled* (reported, not gated — the
-traced path is allowed to be slower) and validates the exported
-Chrome-trace JSON with :func:`repro.obs.export.validate_chrome_trace`.
+then times the case with tracing *enabled* and with cycle-attribution
+*profiling* enabled (both reported, not gated — the instrumented paths
+are allowed to be slower), validates the exported Chrome-trace JSON
+with :func:`repro.obs.export.validate_chrome_trace`, and checks that
+the profiled run's attribution tree conserves cycles and that neither
+instrumented leg perturbed the simulated stats.
 
 Run it the way CI does::
 
@@ -64,7 +67,13 @@ def _find_case(key: str):
     raise SystemExit(f"unknown fig89 case {key!r}; choose from: {known}")
 
 
-def _run_once(case, traced: bool) -> Dict[str, object]:
+#: the gate's three timed paths: hooks compiled in but off, tracing
+#: on, attribution (profiling) on.  Only "disabled" is gated; the
+#: other two are reported and their side artifacts validated.
+MODES = ("disabled", "enabled", "profiled")
+
+
+def _run_once(case, mode: str) -> Dict[str, object]:
     """One timed run; mirrors ``repro.perf.harness._time_case``
     (in-process, GC disabled around ``Machine.run`` only) so numbers
     are comparable with ``BENCH_perf.json``."""
@@ -75,8 +84,11 @@ def _run_once(case, traced: bool) -> Dict[str, object]:
     params = MachineParams().with_cores(case.cores).with_design(case.design)
     machine = Machine(params, seed=case.seed)
     obs = None
-    if traced:
+    if mode == "enabled":
         obs = Observability(metrics_interval=1000)
+        obs.attach(machine)
+    elif mode == "profiled":
+        obs = Observability(trace=False, attrib=True)
         obs.attach(machine)
     workload.setup(machine)
     gc_was_enabled = gc.isenabled()
@@ -90,16 +102,20 @@ def _run_once(case, traced: bool) -> Dict[str, object]:
         if gc_was_enabled:
             gc.enable()
     trace = None
-    if traced:
+    tree = None
+    if mode == "enabled":
         trace = to_chrome_trace(
             obs.tracer, metrics=obs.metrics,
             label=f"{case.workload}:{case.design.value}",
         )
+    elif mode == "profiled":
+        tree = obs.attrib.tree(label=case.key)
     return {
         "wall": wall,
         "events": machine.queue.executed,
         "stats": machine.stats.to_dict(),
         "trace": trace,
+        "tree": tree,
     }
 
 
@@ -121,29 +137,30 @@ def _time_case(
     fails all of them deterministically; host load only causes a false
     FAIL if the host is busy for every single rep.
     """
-    runs = {False: [], True: []}
+    runs = {mode: [] for mode in MODES}
     for _ in range(reps):
-        for traced in (False, True):
-            runs[traced].append(_run_once(case, traced))
+        for mode in MODES:
+            runs[mode].append(_run_once(case, mode))
     if target_s is not None:
         while (
-            min(r["wall"] for r in runs[False]) > target_s
-            and len(runs[False]) < max_reps
+            min(r["wall"] for r in runs["disabled"]) > target_s
+            and len(runs["disabled"]) < max_reps
         ):
-            runs[False].append(_run_once(case, traced=False))
+            runs["disabled"].append(_run_once(case, "disabled"))
     out = {}
-    for traced, label in ((False, "disabled"), (True, "enabled")):
-        wall = [r["wall"] for r in runs[traced]]
-        out[label] = {
+    for mode in MODES:
+        wall = [r["wall"] for r in runs[mode]]
+        out[mode] = {
             "key": case.key,
-            "traced": traced,
+            "mode": mode,
             "reps": len(wall),
             "wall_s": [round(w, 6) for w in wall],
             "min_s": round(min(wall), 6),
             "median_s": round(statistics.median(wall), 6),
-            "events_executed": runs[traced][-1]["events"],
-            "_stats": runs[traced][-1]["stats"],
-            "_trace": runs[traced][-1]["trace"],
+            "events_executed": runs[mode][-1]["events"],
+            "_stats": runs[mode][-1]["stats"],
+            "_trace": runs[mode][-1]["trace"],
+            "_tree": runs[mode][-1]["tree"],
         }
     return out
 
@@ -175,6 +192,7 @@ def run_gate(
 
     timed = _time_case(case, reps, max_reps, target)
     disabled, enabled = timed["disabled"], timed["enabled"]
+    profiled = timed["profiled"]
 
     failures: List[str] = []
 
@@ -191,17 +209,20 @@ def run_gate(
             f" > {threshold:g} * baseline median {base_median:.4f}s"
         )
 
-    # 2. the stats a traced run produces must match the untraced run
+    # 2. the stats a traced or profiled run produces must match the
+    # untraced run bit-for-bit — observability must never perturb the
+    # simulation
     untraced_stats = disabled.pop("_stats")
-    traced_stats = enabled.pop("_stats")
-    if untraced_stats != traced_stats:
-        diff = [
-            k for k in untraced_stats
-            if untraced_stats[k] != traced_stats.get(k)
-        ]
-        failures.append(
-            f"tracing perturbed the simulation: stats differ in {diff}"
-        )
+    for leg, label in ((enabled, "tracing"), (profiled, "profiling")):
+        leg_stats = leg.pop("_stats")
+        if untraced_stats != leg_stats:
+            diff = [
+                k for k in untraced_stats
+                if untraced_stats[k] != leg_stats.get(k)
+            ]
+            failures.append(
+                f"{label} perturbed the simulation: stats differ in {diff}"
+            )
 
     # 3. the exported Chrome trace must be schema-valid
     trace = enabled.pop("_trace")
@@ -210,9 +231,23 @@ def run_gate(
     ]
     failures.extend(f"chrome-trace schema: {e}" for e in schema_errors)
 
-    disabled.pop("_trace", None)
+    # 4. the profiled run's attribution tree must conserve cycles
+    from repro.obs.attrib import conservation_errors
+
+    tree = profiled.pop("_tree")
+    attrib_errors = conservation_errors(tree) if tree else [
+        "profiled run produced no attribution tree"
+    ]
+    failures.extend(f"attribution conservation: {e}" for e in attrib_errors)
+
+    for leg in (disabled, enabled, profiled):
+        leg.pop("_trace", None)
+        leg.pop("_tree", None)
     overhead = (
         enabled["min_s"] / disabled["min_s"] if disabled["min_s"] else None
+    )
+    profile_overhead = (
+        profiled["min_s"] / disabled["min_s"] if disabled["min_s"] else None
     )
     return {
         "case": case_key,
@@ -221,9 +256,14 @@ def run_gate(
         "baseline_median_s": base_median,
         "disabled": disabled,
         "enabled": enabled,
+        "profiled": profiled,
         "tracing_overhead_x": round(overhead, 3) if overhead else None,
+        "profiling_overhead_x": (
+            round(profile_overhead, 3) if profile_overhead else None
+        ),
         "trace_events": len(trace["traceEvents"]) if trace else 0,
         "schema_errors": schema_errors,
+        "attrib_errors": attrib_errors,
         "host": host_metadata(),
         "failures": failures,
         "ok": not failures,
@@ -242,14 +282,24 @@ def render_report(report: Dict[str, object]) -> str:
     )
     lines.append(f"  tracing disabled    : {report['disabled']['min_s']:.4f}s")
     lines.append(f"  tracing enabled     : {report['enabled']['min_s']:.4f}s")
+    lines.append(f"  profiling enabled   : {report['profiled']['min_s']:.4f}s")
     if report["tracing_overhead_x"]:
         lines.append(
             f"  tracing overhead    : {report['tracing_overhead_x']:.2f}x "
             "(informational; only the disabled path is gated)"
         )
+    if report.get("profiling_overhead_x"):
+        lines.append(
+            f"  profiling overhead  : "
+            f"{report['profiling_overhead_x']:.2f}x (informational)"
+        )
     lines.append(
         f"  chrome trace        : {report['trace_events']} events, "
         f"{len(report['schema_errors'])} schema error(s)"
+    )
+    lines.append(
+        f"  attribution         : "
+        f"{len(report['attrib_errors'])} conservation error(s)"
     )
     for failure in report["failures"]:
         lines.append(f"  FAIL: {failure}")

@@ -153,12 +153,13 @@ class Tracer:
 
     def sf_end(self, core: int, extra: float = 0, **attrs) -> None:
         """The sf's drain finished; *extra* covers serialization cycles
-        charged past the drain point."""
+        charged past the drain point.  *extra* is recorded in the span
+        args so offline attribution can split the drain window
+        (``[ts, ts+dur-extra]``) from the serialization tail."""
         ev = self._open_sf.pop(core, None)
         if ev is not None:
             ev.dur = (self.now - ev.ts) + extra
-            if attrs:
-                ev.args = dict(ev.args or (), **attrs)
+            ev.args = dict(ev.args or (), extra=extra, **attrs)
 
     def sf_abort(self, core: int, reason: str = "recovery") -> None:
         """An sf wait was squashed (W+ rollback hit mid-drain)."""
@@ -222,6 +223,30 @@ class Tracer:
                               self.now - t0, {"reason": reason}))
 
     # ------------------------------------------------------------------
+    # other-stall charges (core tracks) — one span per coarse
+    # ``other_stall`` charge, carrying the exact charged amount so a
+    # trace replay reattributes bit-identically
+    # ------------------------------------------------------------------
+
+    def mem_stall(self, core: int, t0: int, charge: float) -> None:
+        """A demand load completed; *charge* is the latency beyond the
+        issue slot that was billed to ``other_stall``."""
+        self._emit(TraceEvent("X", core, "mem_stall", "stall", t0,
+                              self.now - t0, {"charge": charge}))
+
+    def wb_full_stall(self, core: int, t0: int) -> None:
+        """A store sat blocked on a full write buffer; the span duration
+        equals the billed backpressure wait."""
+        self._emit(TraceEvent("X", core, "wb_full_stall", "stall", t0,
+                              self.now - t0))
+
+    def rmw_stall(self, core: int, t0: int, charge: float) -> None:
+        """An atomic RMW completed; *charge* is the drain + round-trip
+        latency beyond the issue slot billed to ``other_stall``."""
+        self._emit(TraceEvent("X", core, "rmw_stall", "stall", t0,
+                              self.now - t0, {"charge": charge}))
+
+    # ------------------------------------------------------------------
     # bounce → retry chains (core tracks, keyed by write)
     # ------------------------------------------------------------------
 
@@ -278,10 +303,12 @@ class Tracer:
             self._open_recovery[core] = ev
 
     def recovery_end(self, core: int, extra: float = 0) -> None:
-        """Post-rollback drain finished (+ *extra* restart cycles)."""
+        """Post-rollback drain finished (+ *extra* restart cycles).
+        Like :meth:`sf_end`, *extra* goes into the args for replay."""
         ev = self._open_recovery.pop(core, None)
         if ev is not None:
             ev.dur = (self.now - ev.ts) + extra
+            ev.args["extra"] = extra
 
     def storm_demotion(self, core: int, until: int) -> None:
         """Recovery-storm monitor demoted this core's wfs to sf."""
@@ -428,6 +455,19 @@ class Tracer:
                     ev.args = dict(ev.args or (), incomplete=True)
             index.clear()
         self._wf_by_core.clear()
+
+    def core_summaries(self, stats) -> None:
+        """Append one ``core_summary`` instant per core with its coarse
+        cycle breakdown.  Emitted by ``Machine.run()`` after the clock
+        stops; appended directly (past any ``max_events`` cap — replay
+        needs them, and there are only ``num_cores`` of them)."""
+        now = self.now
+        for cid, b in enumerate(stats.breakdown):
+            self.events.append(TraceEvent(
+                "i", cid, "core_summary", "summary", now, 0,
+                {"busy": b.busy, "fence_stall": b.fence_stall,
+                 "other_stall": b.other_stall, "cycles": now},
+            ))
 
     # ------------------------------------------------------------------
     # queries (summary / tests)

@@ -43,6 +43,10 @@ from repro.workloads.base import REGISTRY, load_all_workloads
 
 SCHEMA_VERSION = 2
 DEFAULT_SNAPSHOT_PATH = os.path.join("benchmarks", "perf", "BENCH_perf.json")
+#: cycle-attribution companion snapshot (same matrix, simulated-cycle
+#: decomposition instead of wall-clock — catches *simulated* behaviour
+#: drift the wall-clock harness is blind to)
+DEFAULT_ATTRIB_PATH = os.path.join("benchmarks", "perf", "BENCH_attrib.json")
 #: fail when a case gets this much slower than the baseline (median).
 DEFAULT_THRESHOLD = 1.25
 
@@ -202,6 +206,64 @@ def run_profile(
         "host": host_metadata(),
         "cases": cases,
         "total_median_s": round(sum(c["median_s"] for c in cases), 6),
+    }
+
+
+def run_attrib_profile(
+    profile: str = "fig89",
+    progress=None,
+    kernel: Optional[str] = None,
+) -> Dict[str, object]:
+    """Attribution snapshot over *profile*'s matrix (one attributed run
+    per case, deterministic — no reps needed).
+
+    Each entry is the machine-level attribution tree flattened to
+    component -> core-cycles, plus the conservation verdict.  The
+    snapshot is diffable across commits like ``BENCH_perf.json``, but
+    tracks *simulated* cycles: a change that shifts cycles between
+    ``sf.drain`` and ``sf.bounce`` shows up here even when wall-clock
+    is unchanged.
+    """
+    from repro.obs import Observability
+    from repro.obs.attrib import conservation_errors, flatten_node
+    from repro.workloads.base import run_workload
+
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown perf profile {profile!r}; choose from "
+            f"{', '.join(sorted(PROFILES))}"
+        )
+    load_all_workloads()
+    cases = []
+    for case in PROFILES[profile]:
+        if kernel is not None and kernel != case.kernel:
+            case = dataclasses.replace(case, kernel=kernel)
+        obs = Observability(trace=False, attrib=True)
+        run = run_workload(
+            case.workload, case.design, num_cores=case.cores,
+            scale=case.scale, seed=case.seed, obs=obs, kernel=case.kernel,
+        )
+        tree = obs.attrib.tree(label=case.key)
+        errors = conservation_errors(tree)
+        entry = {
+            "key": case.key,
+            "cycles": run.cycles,
+            "machine": flatten_node(tree["machine"]),
+            "events": obs.attrib.design_events(),
+            "conservation_ok": not errors,
+        }
+        if errors:
+            entry["conservation_errors"] = errors
+        cases.append(entry)
+        if progress is not None:
+            progress(entry)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile,
+        "kind": "attrib",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": host_metadata(),
+        "cases": cases,
     }
 
 

@@ -102,6 +102,11 @@ class Machine:
         #: contract as the tracer/injector, so the unsanitized hot path
         #: is untouched and bit-identical to the goldens.
         self.sanitizer = None
+        #: cycle attribution (repro.obs.attrib): None unless
+        #: attach_attrib() is called — same cached ``is None`` guard
+        #: contract as the tracer; set before cores are built so Core
+        #: can cache it in __init__.
+        self.attrib = None
         #: directory for watchdog post-mortem bundles (None = keep the
         #: diagnostics in memory only, attached to the DeadlockError)
         self.diag_dir = None
@@ -157,6 +162,25 @@ class Machine:
         self.noc.tracer = tracer
         if self.faults is not None:
             self.faults.tracer = tracer
+
+    def attach_attrib(self, attrib) -> None:
+        """Wire a :class:`repro.obs.attrib.CycleAttribution` into every
+        component (same shape as :meth:`attach_tracer`).
+
+        Each hook site tests a local ``self.attrib is None``; the
+        hooks themselves all sit on already-slow scheduled paths, so a
+        run without attribution is bit-identical to the goldens and a
+        run with it perturbs no timing (pure accumulator writes).
+        Call before :meth:`run`.
+        """
+        attrib.bind(self)
+        self.attrib = attrib
+        for core in self.cores:
+            core.attrib = attrib
+            core.wb.attrib = attrib
+            core.wb.core_id = core.core_id
+        for l1 in self.l1s:
+            l1.attrib = attrib
 
     def attach_faults(self, injector) -> None:
         """Wire a :class:`repro.faults.FaultInjector` into every
@@ -327,6 +351,9 @@ class Machine:
         self.stats.cycles = self.queue.now
         if self.tracer is not None:
             self.tracer.finalize()
+            # per-core coarse breakdown instants: offline attribution
+            # replay reconciles its fine leaves against these
+            self.tracer.core_summaries(self.stats)
         events = self.recorder.events if self.recorder else None
         degraded_reason = None
         if governor is not None and governor.breached is not None:

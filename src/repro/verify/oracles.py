@@ -109,6 +109,7 @@ def run_program(
     params_overrides: Optional[dict] = None,
     diag_dir: Optional[str] = None,
     sanitize: str = "off",
+    attrib=None,
 ) -> ProgramRun:
     """Execute *program* under *design* at *point* and classify it.
 
@@ -121,6 +122,10 @@ def run_program(
     strict sanitizer a corrupted machine state is classified at the
     first violating cycle instead of surfacing later as a
     deadlock/livelock at the cycle cap.
+
+    *attrib* is an optional :class:`repro.obs.CycleAttribution` wired
+    into the machine before the run (chaos postmortems attribute the
+    cycles of a failing case to fence components).
     """
     run = ProgramRun(program=program, design=design, point=point)
     params = point.params(design, program.num_threads, recovery=recovery)
@@ -137,6 +142,8 @@ def run_program(
         machine.attach_sanitizer(Sanitizer(mode=sanitize, interval=500))
     if diag_dir is not None:
         machine.diag_dir = diag_dir
+    if attrib is not None:
+        machine.attach_attrib(attrib)
     addr_map = [machine.alloc.word() for _ in range(program.num_vars)]
     warm_addrs = (
         [addr_map[v] for v in program.warm_vars] if warmup else []

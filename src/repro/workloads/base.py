@@ -38,6 +38,12 @@ class WorkloadRun:
     design: FenceDesign
     num_cores: int
     result: SimResult
+    # run provenance (trace/profile headers; defaults keep hand-built
+    # WorkloadRun values in older tests valid)
+    seed: int = 12345
+    scale: float = 1.0
+    kernel: str = "object"
+    sanitize: str = "off"
 
     @property
     def stats(self):
@@ -149,6 +155,10 @@ def run_workload(
         design=design,
         num_cores=num_cores,
         result=result,
+        seed=seed,
+        scale=scale,
+        kernel=machine.kernel,
+        sanitize=sanitize,
     )
 
 

@@ -211,3 +211,30 @@ def test_cli_chaos_rejects_unknown_scenario(capsys):
     rc = cli_main(["chaos", "--scenarios", "nope"])
     assert rc == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_failing_case_writes_attribution_postmortem(tmp_path):
+    """With a diag_dir, a failing chaos case gets a cycle-attribution
+    postmortem next to its diagnostics — where the cycles went, with
+    the conservation check still holding on the aborted run."""
+    import json as _json
+
+    diag = str(tmp_path / "diag")
+    case = run_chaos_case("illegal_drop", FenceDesign.W_PLUS, 3,
+                          diag_dir=diag, sanitize="strict")
+    assert case.failed
+    assert case.attrib_path and case.attrib_path.startswith(diag)
+    report = _json.load(open(case.attrib_path))
+    assert report["schema"] == "repro.profile/1"
+    assert report["conservation"]["ok"]
+    prov = report["provenance"]
+    assert prov["fault_scenario"] == "illegal_drop"
+    assert prov["design"] == "W+"
+
+
+def test_passing_case_writes_no_attribution_postmortem(tmp_path):
+    diag = str(tmp_path / "diag")
+    case = run_chaos_case("noc_jitter", FenceDesign.S_PLUS, 3,
+                          diag_dir=diag)
+    assert not case.failed
+    assert case.attrib_path is None

@@ -22,14 +22,18 @@ def test_render_report_failure_and_success():
         "baseline_median_s": 0.1,
         "disabled": {"min_s": 0.12, "reps": 3},
         "enabled": {"min_s": 0.15, "reps": 3},
+        "profiled": {"min_s": 0.13, "reps": 3},
         "tracing_overhead_x": 1.25,
+        "profiling_overhead_x": 1.08,
         "trace_events": 100,
         "schema_errors": [],
+        "attrib_errors": [],
         "failures": ["tracing-DISABLED path regressed: ..."],
         "ok": False,
     }
     text = overhead.render_report(report)
     assert "FAIL" in text and "verdict: FAILED" in text
+    assert "profiling overhead" in text
     report["failures"] = []
     report["ok"] = True
     assert "verdict: OK" in overhead.render_report(report)
@@ -48,5 +52,8 @@ def test_run_gate_reports_missing_baseline(tmp_path):
     # the measurement itself still ran and produced a valid trace
     assert report["schema_errors"] == []
     assert report["trace_events"] > 0
-    # tracing must not have perturbed the simulated run
+    # tracing/profiling must not have perturbed the simulated run
     assert not any("perturbed" in f for f in report["failures"])
+    # the profiled leg ran and its attribution tree conserved cycles
+    assert report["attrib_errors"] == []
+    assert report["profiling_overhead_x"] is not None
