@@ -9,6 +9,7 @@ Commands
 ``synth``    cost-aware minimal fence placement synthesis per design
 ``chaos``    fault-injection sweep with SC/progress/recovery oracles
 ``perf``     time the pinned perf matrix, snapshot + regression check
+``farm``     durable experiment farm (submit/status/resume/gc)
 ``figure``   regenerate one of the paper's figures (8, 9, 10, 11, 12)
 ``table``    regenerate one of the paper's tables (1, 2, 3, 4)
 ``list``     list registered workloads and designs
@@ -371,7 +372,9 @@ def cmd_synth(args) -> int:
           f"{args.points} adversary point(s), seed {args.seed}")
     try:
         report = run_synthesis(config, budget=_run_budget(args),
-                               progress=progress)
+                               progress=progress,
+                               journal=args.journal, resume=args.resume,
+                               overwrite_journal=args.overwrite_journal)
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
         print(f"named programs: {', '.join(NAMED_PROGRAMS)}",
@@ -432,9 +435,12 @@ def cmd_chaos(args) -> int:
         scenarios, designs, seeds=seeds,
         shrink=args.shrink,
         journal=args.journal, resume=args.resume,
+        overwrite_journal=args.overwrite_journal,
         diag_dir=args.diag_dir,
         progress=progress,
         sanitize=args.sanitize,
+        farm_db=args.farm_db or os.environ.get("REPRO_FARM_DB") or None,
+        farm_workers=args.farm_workers,
     )
     print(f"{report['total_cases']} case(s): "
           f"{report['failed_legal']} legal failure(s), "
@@ -460,9 +466,12 @@ def cmd_perf(args) -> int:
 
     print(f"perf profile {args.profile!r}, {args.reps} rep(s) per case:")
     try:
-        snapshot = harness.run_profile(args.profile, reps=args.reps,
-                                       progress=progress,
-                                       kernel=args.kernel)
+        snapshot = harness.run_profile(
+            args.profile, reps=args.reps, progress=progress,
+            kernel=args.kernel,
+            farm_db=args.farm_db or os.environ.get("REPRO_FARM_DB") or None,
+            farm_workers=args.farm_workers,
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -695,6 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--max-rss-mb", type=float, default=None,
                        metavar="MB",
                        help="RSS high-water-mark budget (graceful cutoff)")
+    p_syn.add_argument("--journal", default=None, metavar="PATH",
+                       help="JSONL per-design checkpoint journal; with "
+                            "--resume, finished designs are replayed "
+                            "from it instead of re-searched")
+    p_syn.add_argument("--resume", action="store_true",
+                       help="skip designs already in --journal (same "
+                            "config only)")
+    p_syn.add_argument("--overwrite-journal", action="store_true",
+                       help="rotate an existing --journal to .bak and "
+                            "start fresh (required to discard one)")
     p_syn.add_argument(
         "--out", default="benchmarks/out/synth_report.json",
         help="JSON report path ('-' to skip writing)",
@@ -726,6 +745,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSONL checkpoint journal for the sweep")
     p_chaos.add_argument("--resume", action="store_true",
                          help="skip cases already in --journal")
+    p_chaos.add_argument("--overwrite-journal", action="store_true",
+                         help="rotate an existing --journal to .bak and "
+                              "start fresh (required to discard one)")
+    p_chaos.add_argument("--farm-db", default=None, metavar="PATH",
+                         help="run the sweep as a campaign on the "
+                              "experiment farm (or set $REPRO_FARM_DB)")
+    p_chaos.add_argument("--farm-workers", type=int, default=None,
+                         help="farm worker processes (0 = inline)")
     p_chaos.add_argument("--diag-dir", default=None, metavar="DIR",
                          help="write watchdog/sanitizer post-mortem "
                               "bundles here")
@@ -779,6 +806,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(simulated-cycle decomposition per case; e.g. "
              "benchmarks/perf/BENCH_attrib.json)",
     )
+    p_perf.add_argument("--farm-db", default=None, metavar="PATH",
+                        help="time the matrix as a farm campaign (or "
+                             "set $REPRO_FARM_DB); cached identical "
+                             "cases are reused, so only new/changed "
+                             "cases are re-timed")
+    p_perf.add_argument("--farm-workers", type=int, default=None,
+                        help="farm worker processes (0 = inline)")
+
+    from repro.farm.cli import add_farm_parser
+
+    add_farm_parser(sub)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int)
@@ -790,6 +828,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--scale", type=float, default=0.5)
     p_tab.add_argument("--cores", type=int, default=8)
     return parser
+
+
+def cmd_farm(args) -> int:
+    from repro.farm.cli import cmd_farm as farm_main
+
+    return farm_main(args, _design)
 
 
 def main(argv=None) -> int:
@@ -804,6 +848,7 @@ def main(argv=None) -> int:
         "synth": cmd_synth,
         "chaos": cmd_chaos,
         "perf": cmd_perf,
+        "farm": cmd_farm,
         "figure": cmd_figure,
         "table": cmd_table,
     }[args.command]

@@ -1,0 +1,163 @@
+"""One JSONL journal for every checkpointing surface.
+
+Three subsystems grew their own append-only JSONL checkpoint files —
+the ``run_matrix`` sweep journal (:mod:`repro.eval.runner`), the chaos
+matrix journal (:mod:`repro.faults.chaos`) and the synthesis engine's
+per-design checkpoints (:mod:`repro.synth.engine`) — plus the farm's
+campaign export (:mod:`repro.farm`).  This module is the single
+implementation they all share.  The on-disk format is unchanged: one
+JSON object per line, append-only.
+
+Guarantees:
+
+* **Torn-tail tolerance** — a writer killed mid-append (SIGKILL, OOM)
+  leaves a partial last line; :func:`iter_records` skips any line that
+  does not parse, so a journal is always readable up to its last
+  *complete* record.
+* **Deterministic dedup** — :func:`load_keyed` resolves repeated keys
+  last-writer-wins (a job re-run after an unclean resume overwrites its
+  earlier record; both lines parse, the later one is the truth).
+* **Explicit fsync policy** — :class:`JournalWriter` defaults to
+  fsync-per-record (``"always"``), the durability the crash-resilience
+  tests rely on: after ``append`` returns, that record survives a
+  process kill.  ``"close"`` fsyncs once at close (cheap bulk exports),
+  ``"never"`` only flushes.
+* **No silent destruction** — :func:`prepare` guards an existing
+  journal: starting over requires an explicit *overwrite*, which
+  rotates the old file to ``<path>.bak`` instead of deleting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.common.errors import ConfigError
+
+FSYNC_POLICIES = ("always", "close", "never")
+
+
+class JournalWriter:
+    """Append-only JSONL writer with an explicit fsync policy."""
+
+    def __init__(self, path: str, fsync: str = "always"):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy {fsync!r} not in {FSYNC_POLICIES}")
+        self.path = path
+        self.fsync = fsync
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a")
+        # tail repair: appending after a torn tail (a writer killed
+        # mid-line) must not glue the new record onto the fragment —
+        # terminate the orphan line so only the fragment is lost
+        if self._fh.tell() > 0:
+            with open(path, "rb") as check:
+                check.seek(-1, os.SEEK_END)
+                if check.read(1) != b"\n":
+                    self._fh.write("\n")
+                    self._fh.flush()
+
+    def append(self, record: dict) -> None:
+        """Write one record as a single line; durable on return when
+        the policy is ``"always"``."""
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        if self.fsync == "always":
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self.fsync == "close":
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_records(path: Optional[str]) -> Iterator[dict]:
+    """Yield each parseable record of *path* in file order.
+
+    Blank lines and unparseable lines (the torn tail of a killed
+    writer, or a line torn mid-file by a truncated copy) are skipped;
+    a missing file yields nothing.
+    """
+    if not path or not os.path.exists(path):
+        return
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail / corrupt line
+            if isinstance(rec, dict):
+                yield rec
+
+
+def load_keyed(
+    path: Optional[str],
+    key: Callable[[dict], Optional[str]],
+) -> Dict[str, dict]:
+    """Load ``{key: record}`` from a JSONL journal, last-writer-wins.
+
+    *key* maps a record to its identity (return None to skip the
+    record).  Repeated keys are deduplicated deterministically: the
+    **last** complete record for a key is kept, in first-seen key
+    order — so a job checkpointed twice (e.g. re-run after an unclean
+    resume) resolves to its most recent result.
+    """
+    done: Dict[str, dict] = {}
+    for rec in iter_records(path):
+        try:
+            k = key(rec)
+        except (KeyError, TypeError):
+            continue
+        if k is None:
+            continue
+        done[k] = rec
+    return done
+
+
+def rotate_backup(path: str) -> Optional[str]:
+    """Rotate an existing *path* to ``<path>.bak`` (replacing any older
+    backup); returns the backup path, or None when nothing existed."""
+    if not os.path.exists(path):
+        return None
+    backup = path + ".bak"
+    os.replace(path, backup)
+    return backup
+
+
+def prepare(path: Optional[str], resume: bool = False,
+            overwrite: bool = False) -> Optional[str]:
+    """Guard an existing journal before a fresh (non-resume) sweep.
+
+    With *resume* the journal is kept for loading.  Without it, an
+    existing journal is **never silently deleted**: *overwrite* must be
+    passed explicitly (CLI ``--overwrite-journal``) and rotates the old
+    file to ``<path>.bak``; otherwise a :class:`ConfigError` is raised
+    so a forgotten ``--resume`` cannot destroy a finished sweep's
+    checkpoints.  Returns the backup path when a rotation happened.
+    """
+    if not path or resume or not os.path.exists(path):
+        return None
+    if not overwrite:
+        raise ConfigError(
+            f"journal {path!r} already exists; pass resume (--resume) to "
+            f"continue it, or overwrite (--overwrite-journal) to rotate "
+            f"it to {path + '.bak'!r} and start over"
+        )
+    return rotate_backup(path)

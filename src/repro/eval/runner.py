@@ -17,7 +17,6 @@ skips journaled jobs so an interrupted sweep picks up where it stopped.
 from __future__ import annotations
 
 import dataclasses
-import json
 import multiprocessing
 import os
 import time
@@ -26,6 +25,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common import journal as journal_mod
 from repro.common.params import FenceDesign
 from repro.workloads.base import load_all_workloads, run_workload
 
@@ -90,8 +90,21 @@ class RunSummary:
         return self.stats.get("txn_cycles_total", 0.0) / commits
 
 
-def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
-    name, design_name, num_cores, scale, seed = job
+def run_summary(
+    name: str,
+    design_name: str,
+    num_cores: int,
+    scale: float,
+    seed: int,
+    sanitize: Optional[str] = None,
+    budget=None,
+) -> RunSummary:
+    """One fully-summarized matrix run — the shared executor behind
+    the in-process sweep, the process-pool workers, and farm jobs.
+
+    *sanitize*/*budget* default to the environment (``REPRO_SANITIZE``
+    / ``REPRO_MAX_*``) exactly like :func:`run_workload`.
+    """
     load_all_workloads()
     from repro.obs import Observability
     from repro.obs.attrib import flatten_node
@@ -102,7 +115,7 @@ def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
     obs = Observability(trace=False, attrib=True)
     run = run_workload(
         name, FenceDesign[design_name], num_cores=num_cores,
-        scale=scale, seed=seed, obs=obs,
+        scale=scale, seed=seed, obs=obs, sanitize=sanitize, budget=budget,
     )
     stats = run.stats
     breakdown = stats.total_breakdown()
@@ -130,6 +143,11 @@ def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
     )
 
 
+def _run_one(job: Tuple[str, str, int, float, int]) -> RunSummary:
+    name, design_name, num_cores, scale, seed = job
+    return run_summary(name, design_name, num_cores, scale, seed)
+
+
 def default_jobs() -> int:
     env = os.environ.get("REPRO_JOBS")
     if env:
@@ -151,32 +169,22 @@ def _job_key(job: Tuple[str, str, int, float, int]) -> str:
 
 def load_journal(path: str) -> Dict[str, RunSummary]:
     """Completed jobs from a JSONL journal, tolerant of a torn tail
-    (a writer killed mid-append leaves a partial last line)."""
+    (a writer killed mid-append leaves a partial last line).  Repeated
+    keys resolve deterministically last-writer-wins."""
     done: Dict[str, RunSummary] = {}
-    if not path or not os.path.exists(path):
-        return done
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail
-            key = rec.pop("_key", None)
-            if key is None:
-                continue
-            done[key] = RunSummary(**rec)
+    keyed = journal_mod.load_keyed(path, key=lambda rec: rec.get("_key"))
+    for key, rec in keyed.items():
+        rec = dict(rec)
+        rec.pop("_key", None)
+        done[key] = RunSummary(**rec)
     return done
 
 
-def _append_journal(fh, key: str, summary: RunSummary) -> None:
+def _append_journal(writer: journal_mod.JournalWriter, key: str,
+                    summary: RunSummary) -> None:
     rec = dataclasses.asdict(summary)
     rec["_key"] = key
-    fh.write(json.dumps(rec) + "\n")
-    fh.flush()
-    os.fsync(fh.fileno())
+    writer.append(rec)
 
 
 # ----------------------------------------------------------------------
@@ -239,12 +247,35 @@ def run_matrix(
     jobs: Optional[int] = None,
     journal: Optional[str] = None,
     resume: bool = False,
+    overwrite_journal: bool = False,
+    farm_db: Optional[str] = None,
+    farm_workers: Optional[int] = None,
 ) -> Dict[Tuple[str, str, int], RunSummary]:
     """Run the full grid; returns {(name, design, cores): summary}.
 
     With *journal* set each finished job is checkpointed to a JSONL
-    file; *resume* reloads it and skips already-finished jobs.
+    file; *resume* reloads it and skips already-finished jobs.  An
+    existing journal without *resume* is never silently destroyed:
+    *overwrite_journal* must be passed explicitly and rotates the old
+    file to ``<journal>.bak`` (:func:`repro.common.journal.prepare`).
+
+    With *farm_db* (or ``REPRO_FARM_DB`` in the environment) the grid
+    runs as a campaign on the durable experiment farm instead of an
+    ad-hoc process pool: jobs are leased from a crash-safe SQLite
+    store, results are served from the content-addressed cache when
+    the identical job already ran, and the returned rows are
+    bit-identical to a local sweep.
     """
+    farm_db = farm_db or os.environ.get("REPRO_FARM_DB") or None
+    if farm_db:
+        from repro.farm.clients import farm_run_matrix
+
+        return farm_run_matrix(
+            names, designs, num_cores=num_cores, scale=scale, seed=seed,
+            core_counts=core_counts, db=farm_db, workers=farm_workers,
+            journal=journal, resume=resume,
+            overwrite_journal=overwrite_journal,
+        )
     counts = list(core_counts) if core_counts else [num_cores]
     grid = [
         (name, design.name, cores, scale, seed)
@@ -252,20 +283,19 @@ def run_matrix(
         for design in designs
         for cores in counts
     ]
+    journal_mod.prepare(journal, resume=resume, overwrite=overwrite_journal)
     done = load_journal(journal) if (journal and resume) else {}
-    if journal and not resume and os.path.exists(journal):
-        os.remove(journal)
     results: Dict[str, RunSummary] = {
         _job_key(job): done[_job_key(job)]
         for job in grid if _job_key(job) in done
     }
     todo = [job for job in grid if _job_key(job) not in results]
 
-    journal_fh = open(journal, "a") if journal else None
+    writer = journal_mod.JournalWriter(journal) if journal else None
 
     def on_done(key: str, summary: RunSummary) -> None:
-        if journal_fh is not None:
-            _append_journal(journal_fh, key, summary)
+        if writer is not None:
+            _append_journal(writer, key, summary)
 
     jobs = jobs or default_jobs()
     try:
@@ -277,8 +307,8 @@ def run_matrix(
                 results[_job_key(job)] = summary
                 on_done(_job_key(job), summary)
     finally:
-        if journal_fh is not None:
-            journal_fh.close()
+        if writer is not None:
+            writer.close()
     return {
         (r.name, r.design, r.num_cores): r
         for job in grid

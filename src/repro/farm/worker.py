@@ -1,0 +1,149 @@
+"""A farm worker: claim → heartbeat → execute → complete, forever.
+
+Workers are crash-only processes.  They hold no state the store does
+not: a worker SIGKILLed at *any* point loses at most its current lease,
+which expires and the job is reassigned.  While executing, a heartbeat
+thread (its own store connection — SQLite connections are not
+thread-safe) renews the lease, so a long job under a short lease is
+safe as long as the worker is actually alive; a *stalled-but-alive*
+worker that stops heartbeating loses the lease, someone else runs the
+job, and the content-addressed result store absorbs the duplicate
+completion (exactly-once rows).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.farm import store as store_mod
+from repro.farm.exec import execute_job
+from repro.farm.store import FarmStore
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Tuning knobs shared by workers and the coordinator."""
+
+    #: lease duration; heartbeats renew at a third of this
+    lease_secs: float = 15.0
+    #: idle polling interval when no job is claimable yet
+    poll_secs: float = 0.5
+    #: distinct-worker failures before quarantine
+    quarantine_after: int = store_mod.DEFAULT_QUARANTINE_AFTER
+    backoff_base: float = store_mod.DEFAULT_BACKOFF_BASE
+    backoff_cap: float = store_mod.DEFAULT_BACKOFF_CAP
+    #: where quarantine bundles and chaos diagnostics land
+    diag_dir: Optional[str] = None
+    db_timeout: float = 30.0
+
+    @property
+    def heartbeat_secs(self) -> float:
+        return max(0.05, self.lease_secs / 3.0)
+
+
+@dataclass
+class WorkerStats:
+    claimed: int = 0
+    completed: int = 0
+    duplicates: int = 0
+    failed: int = 0
+    statuses: dict = field(default_factory=dict)
+
+
+class _Heartbeat:
+    """Renews one job's lease from a dedicated connection/thread."""
+
+    def __init__(self, db_path: str, key: str, campaign: str, worker: str,
+                 config: FarmConfig):
+        self._args = (key, campaign, worker, config.lease_secs)
+        self._db_path = db_path
+        self._interval = config.heartbeat_secs
+        self._timeout = config.db_timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        store = FarmStore(self._db_path, timeout=self._timeout)
+        try:
+            while not self._stop.wait(self._interval):
+                # a lost lease is not fatal: the job may run twice, and
+                # completion is idempotent — keep running to the end
+                store.heartbeat(*self._args)
+        finally:
+            store.close()
+
+
+def run_worker(
+    db_path: str,
+    campaign: str,
+    config: Optional[FarmConfig] = None,
+    worker: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+    once: bool = False,
+) -> WorkerStats:
+    """Drain jobs from *campaign* until it is done (or *max_jobs*).
+
+    With *once* the worker exits the first time nothing is claimable
+    instead of polling — the coordinator's pool uses the polling mode,
+    tests and one-shot CLI invocations use *once*.
+    """
+    config = config or FarmConfig()
+    worker = worker or store_mod.default_worker_id()
+    stats = WorkerStats()
+    store = FarmStore(db_path, timeout=config.db_timeout,
+                      diag_dir=config.diag_dir)
+    try:
+        while True:
+            if max_jobs is not None and stats.claimed >= max_jobs:
+                return stats
+            claimed = store.claim(
+                campaign, worker, config.lease_secs,
+                quarantine_after=config.quarantine_after,
+            )
+            if claimed is None:
+                if once or store.campaign_done(campaign):
+                    return stats
+                time.sleep(config.poll_secs)  # backoff-gated retries
+                continue
+            key, spec = claimed
+            stats.claimed += 1
+            try:
+                with _Heartbeat(db_path, key, campaign, worker, config):
+                    row = execute_job(spec, diag_dir=config.diag_dir)
+            except BaseException as exc:
+                stats.failed += 1
+                store.fail(
+                    key, campaign, worker,
+                    f"{type(exc).__name__}: {exc}",
+                    quarantine_after=config.quarantine_after,
+                    backoff_base=config.backoff_base,
+                    backoff_cap=config.backoff_cap,
+                )
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                continue
+            status = store.complete(key, campaign, worker, row)
+            stats.statuses[status] = stats.statuses.get(status, 0) + 1
+            if status == "inserted":
+                stats.completed += 1
+            else:
+                stats.duplicates += 1
+    finally:
+        store.close()
+
+
+def worker_main(db_path: str, campaign: str, config: FarmConfig,
+                worker: str) -> None:
+    """Entry point for pool-spawned worker processes."""
+    run_worker(db_path, campaign, config=config, worker=worker)

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common import journal as journal_mod
 from repro.common.params import FenceDesign
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, make_plan
@@ -96,6 +97,7 @@ def _execute(
     diag_dir: Optional[str] = None,
     sanitize: str = "off",
     attrib=None,
+    budget=None,
 ):
     """One deterministic chaos execution; returns (run, injector)."""
     program = generate_program(seed)
@@ -109,6 +111,7 @@ def _execute(
         diag_dir=diag_dir,
         sanitize=sanitize,
         attrib=attrib,
+        budget=budget,
     )
     return run, injector
 
@@ -154,6 +157,7 @@ def run_chaos_case(
     seed: int,
     diag_dir: Optional[str] = None,
     sanitize: str = "strict",
+    budget=None,
 ) -> ChaosCase:
     """Run one chaos case and classify it against the oracles.
 
@@ -162,7 +166,10 @@ def run_chaos_case(
     caught at the *first* structurally-violating cycle (an event parked
     beyond the delivery horizon) instead of only surfacing when the
     watchdog times the run out.  Pass ``sanitize="off"`` for the legacy
-    catch-at-timeout behaviour.
+    catch-at-timeout behaviour.  *budget* is an optional
+    :class:`~repro.sim.governor.RunBudget`: a wedged case degrades
+    gracefully instead of wedging its worker (the farm sets one per
+    job).
     """
     plan = make_plan(scenario, seed)
     attrib = None
@@ -171,7 +178,8 @@ def run_chaos_case(
 
         attrib = CycleAttribution()
     run, injector = _execute(plan, design, seed, diag_dir=diag_dir,
-                             sanitize=sanitize, attrib=attrib)
+                             sanitize=sanitize, attrib=attrib,
+                             budget=budget)
     case = ChaosCase(
         scenario=scenario,
         design=design.value,
@@ -249,22 +257,22 @@ def _journal_key(scenario: str, design: str, seed: int) -> str:
 
 
 def _load_journal(path: str) -> Dict[str, dict]:
-    """Completed cases from a (possibly torn-tailed) JSONL journal."""
-    done: Dict[str, dict] = {}
-    if not path or not os.path.exists(path):
-        return done
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail from a crashed writer
-            done[_journal_key(rec["scenario"], rec["design"],
-                              rec["seed"])] = rec
-    return done
+    """Completed cases from a (possibly torn-tailed) JSONL journal,
+    repeated keys resolved last-writer-wins."""
+    return journal_mod.load_keyed(
+        path,
+        key=lambda rec: _journal_key(rec["scenario"], rec["design"],
+                                     rec["seed"]),
+    )
+
+
+def _case_from_record(rec: dict) -> ChaosCase:
+    rec = dict(rec)
+    shrunk = rec.pop("shrunk", None)
+    case = ChaosCase(**rec)
+    if shrunk is not None:
+        case.shrunk = [tuple(k) for k in shrunk]
+    return case
 
 
 def run_chaos_matrix(
@@ -274,36 +282,61 @@ def run_chaos_matrix(
     shrink: bool = False,
     journal: Optional[str] = None,
     resume: bool = False,
+    overwrite_journal: bool = False,
     diag_dir: Optional[str] = None,
     progress=None,
     sanitize: str = "strict",
+    farm_db: Optional[str] = None,
+    farm_workers: Optional[int] = None,
 ) -> dict:
     """Sweep scenario × design × seed; return the chaos report dict.
 
     With *journal* set, each finished case is appended to a JSONL file
     as it completes; *resume* skips cases already journaled (so an
-    interrupted sweep picks up where it stopped).  *progress* is an
-    optional ``callable(case)`` fired per completed case.  *sanitize*
-    sets the per-case sanitizer mode (see :func:`run_chaos_case`);
-    sanitizer violations are first-class journaled outcomes.
+    interrupted sweep picks up where it stopped); an existing journal
+    without *resume* requires *overwrite_journal* and is rotated to
+    ``.bak``, never deleted.  *progress* is an optional
+    ``callable(case)`` fired per completed case.  *sanitize* sets the
+    per-case sanitizer mode (see :func:`run_chaos_case`); sanitizer
+    violations are first-class journaled outcomes.
+
+    With *farm_db* the sweep runs as a campaign on the durable
+    experiment farm (leased jobs, crash-safe store, content-addressed
+    result cache); shrinking still happens locally on the collected
+    failing cases, deterministically.
     """
+    if farm_db:
+        from repro.farm.clients import farm_chaos_cases
+
+        cases = farm_chaos_cases(
+            scenarios, designs, seeds, db=farm_db, workers=farm_workers,
+            sanitize=sanitize, diag_dir=diag_dir,
+        )
+        if shrink:
+            cases = [
+                shrink_failing_case(c) if c.failed else c for c in cases
+            ]
+        journal_mod.prepare(journal, resume=resume,
+                            overwrite=overwrite_journal)
+        if journal:
+            with journal_mod.JournalWriter(journal) as writer:
+                for case in cases:
+                    writer.append(case.to_dict())
+        if progress is not None:
+            for case in cases:
+                progress(case)
+        return _chaos_report(scenarios, designs, seeds, cases)
+    journal_mod.prepare(journal, resume=resume, overwrite=overwrite_journal)
     done = _load_journal(journal) if (journal and resume) else {}
-    if journal and not resume and os.path.exists(journal):
-        os.remove(journal)
     cases: List[ChaosCase] = []
-    journal_fh = open(journal, "a") if journal else None
+    writer = journal_mod.JournalWriter(journal) if journal else None
     try:
         for scenario in scenarios:
             for design in designs:
                 for seed in seeds:
                     key = _journal_key(scenario, design.value, seed)
                     if key in done:
-                        rec = dict(done[key])
-                        shrunk = rec.pop("shrunk", None)
-                        case = ChaosCase(**rec)
-                        if shrunk is not None:
-                            case.shrunk = [tuple(k) for k in shrunk]
-                        cases.append(case)
+                        cases.append(_case_from_record(done[key]))
                         continue
                     case = run_chaos_case(
                         scenario, design, seed, diag_dir=diag_dir,
@@ -312,18 +345,21 @@ def run_chaos_matrix(
                     if shrink and case.failed:
                         case = shrink_failing_case(case)
                     cases.append(case)
-                    if journal_fh is not None:
-                        journal_fh.write(json.dumps(case.to_dict()) + "\n")
-                        journal_fh.flush()
+                    if writer is not None:
+                        writer.append(case.to_dict())
                     if progress is not None:
                         progress(case)
     finally:
-        if journal_fh is not None:
-            journal_fh.close()
+        if writer is not None:
+            writer.close()
+    return _chaos_report(scenarios, designs, seeds, cases)
+
+
+def _chaos_report(scenarios, designs, seeds, cases: List[ChaosCase]) -> dict:
     failed_legal = [c for c in cases if c.failed and c.legal]
     caught_illegal = [c for c in cases if c.failed and not c.legal]
     missed_illegal = [c for c in cases if not c.failed and not c.legal]
-    report = {
+    return {
         "total_cases": len(cases),
         "scenarios": list(scenarios),
         "designs": [d.value for d in designs],
@@ -333,4 +369,3 @@ def run_chaos_matrix(
         "missed_illegal": len(missed_illegal),
         "cases": [c.to_dict() for c in cases],
     }
-    return report

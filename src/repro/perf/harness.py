@@ -178,12 +178,19 @@ def run_profile(
     reps: int = 3,
     progress=None,
     kernel: Optional[str] = None,
+    farm_db: Optional[str] = None,
+    farm_workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Time every case of *profile*; returns the snapshot dict.
 
     *kernel* pins every case to one backend ("object" | "flat"); None
     keeps each case's own pinned kernel (the profiles default to
     "object", the baseline-compatible backend).
+
+    With *farm_db* the matrix is timed as a campaign on the experiment
+    farm: identical cases already timed at this code revision are
+    served from the content-addressed cache, so only new or changed
+    cases cost wall time.
     """
     if profile not in PROFILES:
         raise ValueError(
@@ -191,14 +198,26 @@ def run_profile(
             f"{', '.join(sorted(PROFILES))}"
         )
     load_all_workloads()
-    cases = []
+    pinned = []
     for case in PROFILES[profile]:
         if kernel is not None and kernel != case.kernel:
             case = dataclasses.replace(case, kernel=kernel)
-        entry = _time_case(case, reps)
-        cases.append(entry)
+        pinned.append(case)
+    if farm_db:
+        from repro.farm.clients import farm_perf_cases
+
+        cases = farm_perf_cases(pinned, reps=reps, db=farm_db,
+                                workers=farm_workers)
         if progress is not None:
-            progress(entry)
+            for entry in cases:
+                progress(entry)
+    else:
+        cases = []
+        for case in pinned:
+            entry = _time_case(case, reps)
+            cases.append(entry)
+            if progress is not None:
+                progress(entry)
     return {
         "schema_version": SCHEMA_VERSION,
         "profile": profile,

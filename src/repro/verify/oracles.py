@@ -110,6 +110,7 @@ def run_program(
     diag_dir: Optional[str] = None,
     sanitize: str = "off",
     attrib=None,
+    budget=None,
 ) -> ProgramRun:
     """Execute *program* under *design* at *point* and classify it.
 
@@ -126,6 +127,11 @@ def run_program(
     *attrib* is an optional :class:`repro.obs.CycleAttribution` wired
     into the machine before the run (chaos postmortems attribute the
     cycles of a failing case to fence components).
+
+    *budget* is an optional :class:`~repro.sim.governor.RunBudget`
+    bounding the run by wall/events/RSS with a graceful degraded
+    cutoff — farm workers set one so a wedged case can never wedge
+    its worker process.
     """
     run = ProgramRun(program=program, design=design, point=point)
     params = point.params(design, program.num_threads, recovery=recovery)
@@ -151,7 +157,7 @@ def run_program(
     for body in program.threads:
         machine.spawn(_thread_fn(body, addr_map, warm_addrs))
     try:
-        result = machine.run()
+        result = machine.run(budget=budget)
         run.completed = result.completed
         run.cycles = result.cycles
     except SanitizerError as exc:

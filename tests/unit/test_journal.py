@@ -1,0 +1,160 @@
+"""The shared JSONL journal: torn tails, last-writer-wins dedup,
+fsync policies, and the no-silent-destruction prepare guard."""
+
+import json
+import os
+
+import pytest
+
+from repro.common import journal
+from repro.common.errors import ConfigError
+
+
+def _write_lines(path, lines):
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+
+
+# ----------------------------------------------------------------------
+# iter_records / torn tails
+# ----------------------------------------------------------------------
+
+def test_iter_records_missing_file_yields_nothing(tmp_path):
+    assert list(journal.iter_records(str(tmp_path / "absent.jsonl"))) == []
+    assert list(journal.iter_records(None)) == []
+
+
+def test_iter_records_skips_torn_tail(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"k": "a", "v": 1}) + "\n")
+        fh.write(json.dumps({"k": "b", "v": 2}) + "\n")
+        fh.write('{"k": "c", "v"')  # killed mid-append
+    recs = list(journal.iter_records(path))
+    assert [r["k"] for r in recs] == ["a", "b"]
+
+
+def test_iter_records_skips_corrupt_middle_line_and_blanks(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [
+        json.dumps({"k": "a"}),
+        "",
+        "not json at all {{{",
+        json.dumps(["a", "bare", "list"]),  # parseable but not a record
+        json.dumps({"k": "b"}),
+    ])
+    assert [r["k"] for r in journal.iter_records(path)] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# load_keyed: the duplicate-keys + torn-tail regression
+# ----------------------------------------------------------------------
+
+def test_load_keyed_resolves_duplicates_last_writer_wins(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"_key": "a", "v": 1}) + "\n")
+        fh.write(json.dumps({"_key": "b", "v": 2}) + "\n")
+        fh.write(json.dumps({"_key": "a", "v": 3}) + "\n")  # re-run job
+        fh.write('{"_key": "b", "v": 9')  # torn tail must NOT win
+    done = journal.load_keyed(path, key=lambda r: r.get("_key"))
+    assert done == {"a": {"_key": "a", "v": 3}, "b": {"_key": "b", "v": 2}}
+    # first-seen key order is preserved
+    assert list(done) == ["a", "b"]
+
+
+def test_load_keyed_skips_records_without_a_key(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [json.dumps({"v": 1}), json.dumps({"_key": "a"})])
+    done = journal.load_keyed(path, key=lambda r: r.get("_key"))
+    assert list(done) == ["a"]
+
+
+def test_load_keyed_tolerates_key_fn_raising(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [json.dumps({"v": 1}), json.dumps({"k": "a"})])
+    done = journal.load_keyed(path, key=lambda r: r["k"])  # KeyError on 1st
+    assert list(done) == ["a"]
+
+
+# ----------------------------------------------------------------------
+# JournalWriter
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("fsync", journal.FSYNC_POLICIES)
+def test_writer_round_trips_under_every_fsync_policy(tmp_path, fsync):
+    path = str(tmp_path / "j.jsonl")
+    with journal.JournalWriter(path, fsync=fsync) as writer:
+        writer.append({"k": "a"})
+        writer.append({"k": "b"})
+    assert [r["k"] for r in journal.iter_records(path)] == ["a", "b"]
+
+
+def test_writer_rejects_unknown_fsync_policy(tmp_path):
+    with pytest.raises(ValueError, match="fsync policy"):
+        journal.JournalWriter(str(tmp_path / "j.jsonl"), fsync="sometimes")
+
+
+def test_writer_appends_to_an_existing_journal(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with journal.JournalWriter(path) as writer:
+        writer.append({"k": "a"})
+    with journal.JournalWriter(path) as writer:
+        writer.append({"k": "b"})
+    assert [r["k"] for r in journal.iter_records(path)] == ["a", "b"]
+
+
+def test_writer_creates_parent_directories(tmp_path):
+    path = str(tmp_path / "deep" / "er" / "j.jsonl")
+    with journal.JournalWriter(path) as writer:
+        writer.append({"k": "a"})
+    assert os.path.exists(path)
+
+
+def test_writer_close_is_idempotent(tmp_path):
+    writer = journal.JournalWriter(str(tmp_path / "j.jsonl"))
+    writer.append({"k": "a"})
+    writer.close()
+    writer.close()  # second close is a no-op, not a crash
+
+
+# ----------------------------------------------------------------------
+# prepare: the overwrite guard
+# ----------------------------------------------------------------------
+
+def test_prepare_noops_when_nothing_exists(tmp_path):
+    assert journal.prepare(str(tmp_path / "j.jsonl")) is None
+    assert journal.prepare(None) is None
+
+
+def test_prepare_keeps_journal_for_resume(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [json.dumps({"k": "a"})])
+    assert journal.prepare(path, resume=True) is None
+    assert os.path.exists(path)
+
+
+def test_prepare_refuses_existing_journal_without_overwrite(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [json.dumps({"k": "a"})])
+    with pytest.raises(ConfigError, match="already exists"):
+        journal.prepare(path)
+    assert os.path.exists(path)  # untouched
+
+
+def test_prepare_overwrite_rotates_to_bak(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path, [json.dumps({"k": "a"})])
+    backup = journal.prepare(path, overwrite=True)
+    assert backup == path + ".bak"
+    assert not os.path.exists(path)
+    assert [r["k"] for r in journal.iter_records(backup)] == ["a"]
+
+
+def test_prepare_overwrite_replaces_an_older_backup(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    _write_lines(path + ".bak", [json.dumps({"k": "old"})])
+    _write_lines(path, [json.dumps({"k": "new"})])
+    journal.prepare(path, overwrite=True)
+    assert [r["k"] for r in journal.iter_records(path + ".bak")] == ["new"]

@@ -122,13 +122,30 @@ def test_resume_skips_journaled_jobs(tmp_path):
                 == dataclasses.asdict(full[key]))
 
 
-def test_fresh_sweep_truncates_a_stale_journal(tmp_path):
+def test_fresh_sweep_refuses_to_destroy_a_stale_journal(tmp_path):
+    """No resume and no explicit overwrite: the existing journal is an
+    error, never a silent delete."""
+    from repro.common.errors import ConfigError
+
     journal = str(tmp_path / "sweep.jsonl")
     kwargs = dict(names=["fib"], designs=[FenceDesign.S_PLUS],
                   seed=5, jobs=1, **GRID)
     run_matrix(journal=journal, **kwargs)
-    run_matrix(journal=journal, **kwargs)  # no resume: start over
+    before = open(journal).read()
+    with pytest.raises(ConfigError, match="already exists"):
+        run_matrix(journal=journal, **kwargs)  # no resume: refused
+    assert open(journal).read() == before  # untouched
+
+
+def test_overwrite_journal_rotates_to_bak(tmp_path):
+    journal = str(tmp_path / "sweep.jsonl")
+    kwargs = dict(names=["fib"], designs=[FenceDesign.S_PLUS],
+                  seed=5, jobs=1, **GRID)
+    run_matrix(journal=journal, **kwargs)
+    before = open(journal).read()
+    run_matrix(journal=journal, overwrite_journal=True, **kwargs)
     assert len(open(journal).readlines()) == 1
+    assert open(journal + ".bak").read() == before  # rotated, not deleted
 
 
 def test_resume_tolerates_a_torn_journal_tail(tmp_path):
